@@ -1,0 +1,36 @@
+"""Figure 10 — aleatoric and epistemic uncertainty per forecast horizon.
+
+Regenerates the mean aleatoric / epistemic standard deviation at each
+forecast step for every dataset.  Expected shape (paper Fig. 10): both
+components grow (weakly) as the horizon extends — long-term forecasts are
+less reliable than short-term ones.
+"""
+
+import numpy as np
+
+from repro.evaluation import format_figure_series, run_horizon_uncertainty_analysis
+
+
+def test_fig10_uncertainty_per_horizon(benchmark, save_result, scale):
+    records = benchmark.pedantic(
+        lambda: run_horizon_uncertainty_analysis(scale), rounds=1, iterations=1
+    )
+    text = format_figure_series(
+        records,
+        x_key="horizon_minutes",
+        series_keys=("aleatoric", "epistemic"),
+        label_keys=("Dataset",),
+        title="Fig. 10: uncertainty vs forecast horizon",
+    )
+    save_result("fig10_horizon_uncertainty", text)
+
+    assert len(records) == len(scale.datasets)
+    for record in records:
+        aleatoric = np.asarray(record["aleatoric"])
+        assert len(aleatoric) == scale.horizon
+        assert np.all(aleatoric > 0.0)
+        # Weak growth check: the last third should not be smaller than the
+        # first third by more than ~15% (at bench scale the variance head is
+        # only lightly trained, so the growth trend is noisy).
+        third = max(1, len(aleatoric) // 3)
+        assert aleatoric[-third:].mean() >= aleatoric[:third].mean() * 0.85

@@ -1,0 +1,30 @@
+"""Figure 11 — effect of the number of Monte-Carlo samples.
+
+Regenerates the MAE / RMSE / MAPE of DeepSTUQ as the number of test-time MC
+dropout samples varies over {1, 3, 5, 10, 15}.  Expected shape: performance
+improves (or at least does not degrade) with more samples and saturates
+around 10-15, motivating the paper's choice of 10.
+"""
+
+import numpy as np
+
+from repro.evaluation import format_rows, run_mc_sample_ablation
+
+
+def test_fig11_mc_sample_ablation(benchmark, save_result, scale):
+    counts = (1, 3, 5, 10, 15)
+    rows = benchmark.pedantic(
+        lambda: run_mc_sample_ablation(scale, dataset_name="PEMS08", sample_counts=counts),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_rows(rows, title="Fig. 11: point metrics vs number of Monte-Carlo samples (PEMS08)")
+    save_result("fig11_mc_samples", text)
+
+    assert [row["MC samples"] for row in rows] == list(counts)
+    maes = np.array([row["MAE"] for row in rows])
+    assert np.all(np.isfinite(maes))
+    # Many samples should not be worse than a single sample by a large margin,
+    # and the curve should flatten: the 10->15 change is small relative to 1->10.
+    assert maes[-1] <= maes[0] * 1.05
+    assert abs(maes[-1] - maes[-2]) <= abs(maes[0] - maes[-2]) + 1e-6

@@ -1,0 +1,39 @@
+"""Figure 5 — learning-rate schedule of the AWA re-training.
+
+Regenerates the cyclic cosine trace of Eq. 16 exactly as plotted in the
+paper: lr decays from 3e-3 to 3e-5 during even epochs and is held constant
+at 3e-5 during odd epochs.
+"""
+
+import numpy as np
+
+from repro import nn, optim
+from repro.utils.tables import format_table
+
+
+def test_fig5_awa_learning_rate_schedule(benchmark, save_result):
+    lr_max, lr_min, steps_per_epoch, epochs = 3e-3, 3e-5, 100, 4
+
+    def run():
+        optimizer = optim.SGD(nn.Linear(2, 1).parameters(), lr=lr_max)
+        scheduler = optim.CyclicCosineLR(
+            optimizer, lr_max=lr_max, lr_min=lr_min, steps_per_epoch=steps_per_epoch
+        )
+        return scheduler.trace(steps_per_epoch * epochs)
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    sampled = [(i, trace[i]) for i in range(0, len(trace), 25)]
+    text = format_table(
+        ["iteration", "learning rate"],
+        sampled,
+        precision=6,
+        title="Fig. 5: AWA re-training learning-rate schedule (sampled every 25 iterations)",
+    )
+    save_result("fig5_lr_schedule", text)
+
+    trace = np.asarray(trace)
+    assert trace[0] == lr_max
+    assert np.isclose(trace[steps_per_epoch - 1], lr_min)
+    assert np.allclose(trace[steps_per_epoch : 2 * steps_per_epoch], lr_min)
+    assert np.isclose(trace[2 * steps_per_epoch], lr_max)
+    assert np.all(np.diff(trace[:steps_per_epoch]) <= 1e-12)

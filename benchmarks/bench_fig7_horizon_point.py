@@ -1,0 +1,33 @@
+"""Figure 7 — point-prediction metrics per forecast horizon.
+
+Regenerates the MAE / RMSE / MAPE curves over the 5-60 minute horizons for
+DeepSTUQ (solid lines in the paper) and the AGCRN baseline (dashed lines).
+The expected shape: errors grow with the horizon, and DeepSTUQ tracks or
+improves on AGCRN at each step.
+"""
+
+import numpy as np
+
+from repro.evaluation import format_figure_series, run_horizon_point_analysis
+
+
+def test_fig7_point_metrics_per_horizon(benchmark, save_result, scale):
+    records = benchmark.pedantic(
+        lambda: run_horizon_point_analysis(scale), rounds=1, iterations=1
+    )
+    text = format_figure_series(
+        records,
+        x_key="horizon_minutes",
+        series_keys=("MAE", "RMSE", "MAPE"),
+        label_keys=("Dataset", "Model"),
+        title="Fig. 7: point prediction vs forecast horizon (DeepSTUQ vs AGCRN)",
+    )
+    save_result("fig7_horizon_point", text)
+
+    assert len(records) == 2 * len(scale.datasets)
+    for record in records:
+        mae_curve = np.asarray(record["MAE"])
+        assert len(mae_curve) == scale.horizon
+        # Errors should grow (weakly) with the horizon: compare last vs first thirds.
+        third = max(1, len(mae_curve) // 3)
+        assert mae_curve[-third:].mean() >= mae_curve[:third].mean() * 0.9

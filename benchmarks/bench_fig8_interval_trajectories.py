@@ -1,0 +1,44 @@
+"""Figure 8 — forecasts with 95% prediction intervals on sample road segments.
+
+Regenerates the (ground truth, prediction, lower, upper) series for a
+randomly selected sensor of each dataset and checks that the interval covers
+a large fraction of the plotted stretch, as in the paper's qualitative plots.
+"""
+
+from repro.evaluation import run_interval_trajectory
+from repro.utils.tables import format_table
+
+
+def test_fig8_interval_trajectories(benchmark, save_result, scale):
+    def run():
+        # One segment per dataset, like the paper's four panels.
+        return [
+            run_interval_trajectory(scale, dataset_name=name, max_points=60, seed=0)
+            for name in scale.datasets
+        ]
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    blocks = []
+    for panel in panels:
+        rows = [
+            (step, panel["ground_truth"][step], panel["prediction"][step],
+             panel["lower"][step], panel["upper"][step])
+            for step in range(0, len(panel["ground_truth"]), 5)
+        ]
+        blocks.append(
+            format_table(
+                ["t", "ground truth", "prediction", "lower", "upper"],
+                rows,
+                precision=1,
+                title=(
+                    f"Fig. 8 ({panel['Dataset']}): node {panel['node']}, "
+                    f"segment PICP {panel['segment_picp']:.1f}%"
+                ),
+            )
+        )
+    save_result("fig8_interval_trajectories", "\n\n".join(blocks))
+
+    assert len(panels) == len(scale.datasets)
+    for panel in panels:
+        assert panel["segment_picp"] >= 60.0
+        assert all(lo <= up for lo, up in zip(panel["lower"], panel["upper"]))

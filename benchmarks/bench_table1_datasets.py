@@ -1,0 +1,20 @@
+"""Table I — dataset statistics.
+
+Regenerates the paper's dataset table (nodes / edges / steps per PEMS
+dataset) and, for the synthetic stand-ins actually generated at the current
+scale, their summary statistics.  The timed body is the synthetic dataset
+generation itself.
+"""
+
+from repro.evaluation import dataset_statistics, format_rows, scale_from_env
+
+
+def test_table1_dataset_statistics(benchmark, save_result, scale):
+    def run():
+        return dataset_statistics(include_synthetic_summary=True, size=scale.dataset_size)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_rows(rows, title="Table I: dataset statistics (paper values + synthetic stand-ins)")
+    save_result("table1_datasets", text)
+    assert len(rows) == 4
+    assert {row["Dataset"] for row in rows} == {"PEMS03", "PEMS04", "PEMS07", "PEMS08"}

@@ -1,0 +1,28 @@
+"""Table II — taxonomy of the uncertainty-quantification methods.
+
+Regenerated directly from the method registry so the table can never drift
+from the implementation.
+"""
+
+from repro.evaluation import format_rows
+from repro.uq import METHOD_INFO, available_methods
+
+
+def test_table2_method_taxonomy(benchmark, save_result):
+    def run():
+        return [
+            {
+                "Method": name,
+                "Paradigm": METHOD_INFO[name].paradigm,
+                "Uncertainty Type": METHOD_INFO[name].uncertainty_type,
+            }
+            for name in available_methods(paper_only=True)
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_rows(rows, title="Table II: uncertainty quantification methods")
+    save_result("table2_methods", text)
+    assert len(rows) == 10
+    deepstuq = next(row for row in rows if row["Method"] == "DeepSTUQ")
+    assert deepstuq["Paradigm"] == "Bayesian + ensembling"
+    assert deepstuq["Uncertainty Type"] == "aleatoric + epistemic"

@@ -1,0 +1,50 @@
+"""Table IV — uncertainty-quantification comparison.
+
+Trains every UQ method of the paper's Table II on every dataset and reports
+MAE / RMSE / MAPE / MNLL / PICP / MPIW on the test split.
+
+Shape expectations checked against the paper's findings:
+
+* epistemic-only methods (MCDO, FGE) drastically under-cover;
+* methods modelling aleatoric uncertainty (MVE, TS, Combined, Conformal,
+  CFRNN, DeepSTUQ) reach far higher coverage;
+* DeepSTUQ's coverage is at or near the best.
+"""
+
+import numpy as np
+
+from repro.evaluation import format_method_table, run_uncertainty_quantification
+
+
+def test_table4_uncertainty_quantification(benchmark, save_result, scale):
+    rows = benchmark.pedantic(
+        lambda: run_uncertainty_quantification(scale), rounds=1, iterations=1
+    )
+    text = format_method_table(
+        rows,
+        metrics=("MAE", "RMSE", "MAPE", "MNLL", "PICP", "MPIW"),
+        row_key="Method",
+        title="Table IV: uncertainty quantification results",
+    )
+    save_result("table4_uncertainty", text)
+
+    methods = {row["Method"] for row in rows}
+    assert {"Point", "Quantile", "MVE", "MCDO", "Combined", "TS", "FGE", "Conformal",
+            "CFRNN", "DeepSTUQ"}.issubset(methods)
+
+    def mean_metric(method, metric):
+        values = [row[metric] for row in rows if row["Method"] == method]
+        return float(np.mean(values))
+
+    # Epistemic-only methods under-cover; aleatoric-aware methods cover well.
+    for epistemic_only in ("MCDO", "FGE"):
+        assert mean_metric(epistemic_only, "PICP") < 90.0
+    for aleatoric_aware in ("MVE", "Combined", "DeepSTUQ"):
+        assert mean_metric(aleatoric_aware, "PICP") > mean_metric("MCDO", "PICP")
+    # DeepSTUQ should be within a few points of the best coverage.
+    best_picp = max(
+        mean_metric(method, "PICP")
+        for method in methods
+        if np.isfinite(mean_metric(method, "PICP"))
+    )
+    assert mean_metric("DeepSTUQ", "PICP") >= best_picp - 10.0

@@ -1,0 +1,24 @@
+"""Table VI — ablation of temperature-scaling calibration.
+
+The same trained model is evaluated before and after fitting the calibration
+temperature on the validation split; calibration should move PICP toward the
+nominal 95% level (and not hurt MNLL).
+"""
+
+import numpy as np
+
+from repro.evaluation import format_rows, run_calibration_ablation
+
+
+def test_table6_calibration_ablation(benchmark, save_result, scale):
+    rows = benchmark.pedantic(lambda: run_calibration_ablation(scale), rounds=1, iterations=1)
+    text = format_rows(rows, title="Table VI: ablation study on model calibration")
+    save_result("table6_calibration_ablation", text)
+
+    assert len(rows) == 3 * len(scale.datasets)
+    picp_rows = [row for row in rows if row["Metric"] == "PICP"]
+    # Calibration should, on average, bring coverage closer to the 95% target.
+    before_gap = np.mean([abs(row["No Calibration"] - 95.0) for row in picp_rows])
+    after_gap = np.mean([abs(row["Calibration"] - 95.0) for row in picp_rows])
+    assert after_gap <= before_gap + 2.0
+    assert all(row["Temperature"] > 0 for row in rows)

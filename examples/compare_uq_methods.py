@@ -1,0 +1,75 @@
+"""Compare uncertainty-quantification methods on one dataset (mini Table IV).
+
+Run with::
+
+    python examples/compare_uq_methods.py --fast
+    python examples/compare_uq_methods.py --methods MVE MCDO Combined DeepSTUQ
+
+For every selected method the script trains the shared AGCRN backbone with
+that method's heads / loss / sampling strategy, then reports the six Table IV
+metrics side by side.  The typical outcome mirrors the paper: the
+epistemic-only methods (MCDO, FGE) under-cover badly, the aleatoric-aware
+methods cover well, and DeepSTUQ gives the best overall balance.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import AWAConfig, TrainingConfig
+from repro.data import load_pems, train_val_test_split
+from repro.evaluation.uncertainty_quantification import evaluate_uq_method
+from repro.evaluation.datasets import evaluation_windows
+from repro.evaluation.config import UNIT_SCALE, BENCH_SCALE
+from repro.uq import available_methods, create_method
+from repro.utils import format_table
+
+DEFAULT_METHODS = ("Point", "MVE", "MCDO", "Combined", "TS", "Conformal", "DeepSTUQ")
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="PEMS08")
+    parser.add_argument("--methods", nargs="+", default=list(DEFAULT_METHODS),
+                        choices=available_methods(), metavar="METHOD")
+    parser.add_argument("--fast", action="store_true", help="tiny dataset and very short training")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    scale = UNIT_SCALE if args.fast else BENCH_SCALE
+    traffic = load_pems(args.dataset, size=scale.dataset_size)
+    train, val, test = train_val_test_split(traffic)
+    print(f"Dataset: synthetic {args.dataset} with {traffic.num_nodes} sensors, "
+          f"{traffic.num_steps} steps")
+
+    config = TrainingConfig(
+        history=scale.history, horizon=scale.horizon,
+        hidden_dim=scale.hidden_dim, embed_dim=scale.embed_dim,
+        epochs=scale.epochs, mc_samples=scale.mc_samples, encoder_dropout=0.05,
+    )
+    inputs, targets = evaluation_windows(test, scale)
+
+    rows = []
+    for name in args.methods:
+        print(f"Training {name} ...")
+        kwargs = {"awa_config": AWAConfig(epochs=scale.awa_epochs)} if name == "DeepSTUQ" else {}
+        method = create_method(name, traffic.num_nodes, config=config, **kwargs)
+        method.fit(train, val)
+        metrics = evaluate_uq_method(method, inputs, targets)
+        rows.append([name, method.paradigm, metrics["MAE"], metrics["MNLL"],
+                     metrics["PICP"], metrics["MPIW"]])
+
+    print()
+    print(format_table(
+        ["Method", "Paradigm", "MAE", "MNLL", "PICP (%)", "MPIW"],
+        rows,
+        title=f"Uncertainty quantification on synthetic {args.dataset} (95% intervals)",
+    ))
+    print("\nReading guide: PICP should be close to (or above) 95% with the smallest "
+          "possible MPIW; epistemic-only methods typically sit far below 95%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (where
+PEP 517 editable installs are unavailable) via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

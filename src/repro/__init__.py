@@ -1,0 +1,34 @@
+"""DeepSTUQ reproduction: unified uncertainty quantification for traffic forecasting.
+
+This package reproduces "Uncertainty Quantification for Traffic Forecasting:
+A Unified Approach" (ICDE 2023).  It contains:
+
+* ``repro.tensor`` / ``repro.nn`` / ``repro.optim`` — a from-scratch NumPy
+  deep-learning substrate (autodiff, layers, optimizers).
+* ``repro.graph`` / ``repro.data`` — road-network and synthetic PEMS traffic
+  data substrates.
+* ``repro.models`` — the AGCRN base model and the paper's point-prediction
+  baselines.
+* ``repro.uq`` — uncertainty-quantification methods (MVE, MC dropout,
+  temperature scaling, FGE, conformal, CFRNN, ...) and the DeepSTUQ pipeline.
+* ``repro.core`` — the DeepSTUQ training stages: combined loss, AWA
+  re-training, temperature calibration, Monte-Carlo inference.
+* ``repro.metrics`` / ``repro.evaluation`` — metrics and the experiment
+  harness regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "optim",
+    "graph",
+    "data",
+    "models",
+    "uq",
+    "core",
+    "metrics",
+    "evaluation",
+    "utils",
+]

@@ -1,0 +1,61 @@
+"""Mini-batch loader over a :class:`~repro.data.datasets.SlidingWindowDataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import SlidingWindowDataset
+
+
+class DataLoader:
+    """Iterate over mini-batches of ``(inputs, targets)`` arrays.
+
+    Parameters
+    ----------
+    dataset:
+        A sliding-window dataset.
+    batch_size:
+        Number of windows per batch.
+    shuffle:
+        Whether to reshuffle sample order at the start of every epoch.
+    drop_last:
+        Whether to drop the final, smaller batch.
+    rng:
+        Random generator used for shuffling (reproducible epochs).
+    """
+
+    def __init__(
+        self,
+        dataset: SlidingWindowDataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            inputs = np.stack([self.dataset[i][0] for i in batch_indices])
+            targets = np.stack([self.dataset[i][1] for i in batch_indices])
+            yield inputs, targets

@@ -1,0 +1,134 @@
+"""Traffic data containers, sliding-window datasets and chronological splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.road_network import RoadNetwork
+
+
+@dataclass
+class TrafficData:
+    """A multivariate traffic time series on a road network.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name.
+    values:
+        Array of shape ``(num_steps, num_nodes)`` holding the sensor readings.
+    network:
+        The underlying :class:`~repro.graph.RoadNetwork`.
+    interval_minutes:
+        Sampling interval (5 minutes for the PEMS datasets).
+    """
+
+    name: str
+    values: np.ndarray
+    network: RoadNetwork
+    interval_minutes: int = 5
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be (num_steps, num_nodes), got {self.values.shape}")
+        if self.values.shape[1] != self.network.num_nodes:
+            raise ValueError(
+                f"values have {self.values.shape[1]} nodes but the network has "
+                f"{self.network.num_nodes}"
+            )
+
+    @property
+    def num_steps(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.values.shape[1]
+
+    def slice_steps(self, start: int, stop: int) -> "TrafficData":
+        """Return a chronological slice ``[start, stop)`` of the series."""
+        return TrafficData(
+            name=self.name,
+            values=self.values[start:stop],
+            network=self.network,
+            interval_minutes=self.interval_minutes,
+        )
+
+    def summary(self) -> dict:
+        """Dataset statistics used by the Table I benchmark."""
+        return {
+            "name": self.name,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.network.num_edges,
+            "num_steps": self.num_steps,
+            "interval_minutes": self.interval_minutes,
+            "mean_flow": float(self.values.mean()),
+            "max_flow": float(self.values.max()),
+        }
+
+
+def train_val_test_split(
+    data: TrafficData, ratios: Tuple[float, float, float] = (0.6, 0.2, 0.2)
+) -> Tuple[TrafficData, TrafficData, TrafficData]:
+    """Chronological 6:2:2 split used throughout the paper.
+
+    The validation split doubles as the calibration set for temperature
+    scaling and conformal methods.
+    """
+    if len(ratios) != 3 or abs(sum(ratios) - 1.0) > 1e-8 or any(r <= 0 for r in ratios):
+        raise ValueError(f"ratios must be three positive numbers summing to 1, got {ratios}")
+    num_steps = data.num_steps
+    train_end = int(num_steps * ratios[0])
+    val_end = train_end + int(num_steps * ratios[1])
+    return (
+        data.slice_steps(0, train_end),
+        data.slice_steps(train_end, val_end),
+        data.slice_steps(val_end, num_steps),
+    )
+
+
+class SlidingWindowDataset:
+    """Sliding input/target windows over a traffic series.
+
+    Each sample pairs ``history`` steps of all sensors with the following
+    ``horizon`` steps (paper: one hour of history, Th = 12, predicting the
+    next hour, tau = 12).
+
+    Samples are returned as arrays of shape ``(history, num_nodes)`` and
+    ``(horizon, num_nodes)``.
+    """
+
+    def __init__(self, data: TrafficData, history: int = 12, horizon: int = 12) -> None:
+        if history < 1 or horizon < 1:
+            raise ValueError("history and horizon must be >= 1")
+        usable = data.num_steps - history - horizon + 1
+        if usable <= 0:
+            raise ValueError(
+                f"series of length {data.num_steps} too short for history={history}, horizon={horizon}"
+            )
+        self.data = data
+        self.history = history
+        self.horizon = horizon
+        self._num_samples = usable
+
+    def __len__(self) -> int:
+        return self._num_samples
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        if not 0 <= index < self._num_samples:
+            raise IndexError(f"index {index} out of range for {self._num_samples} samples")
+        start = index
+        mid = start + self.history
+        end = mid + self.horizon
+        values = self.data.values
+        return values[start:mid], values[mid:end]
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize all samples as ``(num_samples, history/horizon, num_nodes)``."""
+        inputs = np.stack([self[i][0] for i in range(len(self))])
+        targets = np.stack([self[i][1] for i in range(len(self))])
+        return inputs, targets

@@ -1,0 +1,88 @@
+"""Feature scalers fit on the training split only.
+
+Traffic models are trained on standardized flows; predictions (means and
+standard deviations) are mapped back to the original scale before computing
+metrics, exactly as in the AGCRN/DeepSTUQ reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling with variance-aware inversion.
+
+    ``inverse_transform_std`` maps a predicted standard deviation back to the
+    data scale (multiplication by the fitted std), which is what the
+    uncertainty-quantification pipeline needs for interval metrics.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[float] = None
+        self.std_: Optional[float] = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.mean_ = float(values.mean())
+        std = float(values.std())
+        self.std_ = std if std > 1e-12 else 1.0
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fitted before use")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(values, dtype=np.float64) * self.std_ + self.mean_
+
+    def inverse_transform_std(self, std: np.ndarray) -> np.ndarray:
+        """Map standard deviations from scaled space back to data space."""
+        self._check_fitted()
+        return np.asarray(std, dtype=np.float64) * self.std_
+
+    def inverse_transform_var(self, var: np.ndarray) -> np.ndarray:
+        """Map variances from scaled space back to data space."""
+        self._check_fitted()
+        return np.asarray(var, dtype=np.float64) * (self.std_ ** 2)
+
+
+class MinMaxScaler:
+    """Scale values into ``[0, 1]`` based on the fitted minimum and maximum."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[float] = None
+        self.max_: Optional[float] = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.min_ = float(values.min())
+        self.max_ = float(values.max())
+        if self.max_ - self.min_ < 1e-12:
+            self.max_ = self.min_ + 1.0
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.min_ is None or self.max_ is None:
+            raise RuntimeError("scaler must be fitted before use")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.min_) / (self.max_ - self.min_)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(values, dtype=np.float64) * (self.max_ - self.min_) + self.min_

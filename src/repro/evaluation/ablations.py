@@ -1,0 +1,167 @@
+"""Ablation runners: Tables V / VI and Fig. 11, plus extra design-choice ablations.
+
+* :func:`run_awa_ablation` — point metrics of the same pre-trained model
+  before vs after AWA re-training (Table V).
+* :func:`run_calibration_ablation` — uncertainty metrics of the same model
+  before vs after temperature-scaling calibration (Table VI).
+* :func:`run_mc_sample_ablation` — point metrics as a function of the number
+  of Monte-Carlo samples (Fig. 11).
+* :func:`run_lambda_ablation` — sensitivity to the combined-loss weight
+  (extension ablation listed in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.awa import AWAConfig, AWATrainer
+from repro.core.pipeline import DeepSTUQConfig, DeepSTUQPipeline
+from repro.evaluation.config import ExperimentScale, make_awa_config, make_training_config
+from repro.evaluation.datasets import evaluation_windows, load_benchmark_splits
+from repro.metrics import point_metrics, uncertainty_metrics
+
+
+def _fit_pipeline(
+    dataset_name: str,
+    scale: ExperimentScale,
+    use_awa: bool,
+    use_calibration: bool,
+    lambda_weight: Optional[float] = None,
+):
+    """Train a DeepSTUQ pipeline variant and return (pipeline, test windows)."""
+    train, val, test = load_benchmark_splits(dataset_name, scale)
+    config = make_training_config(scale, dataset_name)
+    if lambda_weight is not None:
+        config.lambda_weight = lambda_weight
+    pipeline_config = DeepSTUQConfig(
+        training=config,
+        awa=make_awa_config(scale),
+        use_awa=use_awa,
+        use_calibration=use_calibration,
+    )
+    pipeline = DeepSTUQPipeline(train.num_nodes, pipeline_config)
+    pipeline.fit(train, val)
+    inputs, targets = evaluation_windows(test, scale)
+    return pipeline, inputs, targets
+
+
+def run_awa_ablation(scale: ExperimentScale, datasets: Optional[Sequence[str]] = None) -> List[Dict]:
+    """Table V: point metrics of the pre-trained model before and after AWA.
+
+    A single pipeline is pre-trained; its weights are snapshotted, evaluated,
+    then AWA re-training runs and the same model is evaluated again, exactly
+    mirroring the paper's "No AWA" vs "AWA" comparison.
+    """
+    datasets = datasets if datasets is not None else scale.datasets
+    rows: List[Dict] = []
+    for dataset_name in datasets:
+        train, val, test = load_benchmark_splits(dataset_name, scale)
+        config = make_training_config(scale, dataset_name)
+        pipeline_config = DeepSTUQConfig(
+            training=config, awa=make_awa_config(scale), use_awa=False, use_calibration=False
+        )
+        pipeline = DeepSTUQPipeline(train.num_nodes, pipeline_config)
+        pipeline.fit(train, val)
+        inputs, targets = evaluation_windows(test, scale)
+
+        before = point_metrics(pipeline.predict(inputs).mean, targets)
+        awa = AWATrainer(pipeline.trainer, make_awa_config(scale))
+        awa.retrain(train)
+        after = point_metrics(pipeline.predict(inputs).mean, targets)
+
+        for metric in ("MAE", "RMSE", "MAPE"):
+            rows.append(
+                {
+                    "Dataset": dataset_name,
+                    "Metric": metric,
+                    "No AWA": before[metric],
+                    "AWA": after[metric],
+                }
+            )
+    return rows
+
+
+def run_calibration_ablation(
+    scale: ExperimentScale, datasets: Optional[Sequence[str]] = None
+) -> List[Dict]:
+    """Table VI: MNLL / PICP / MPIW before and after temperature calibration."""
+    datasets = datasets if datasets is not None else scale.datasets
+    rows: List[Dict] = []
+    for dataset_name in datasets:
+        train, val, test = load_benchmark_splits(dataset_name, scale)
+        config = make_training_config(scale, dataset_name)
+        pipeline_config = DeepSTUQConfig(
+            training=config, awa=make_awa_config(scale), use_awa=True, use_calibration=False
+        )
+        pipeline = DeepSTUQPipeline(train.num_nodes, pipeline_config)
+        pipeline.fit(train, val)
+        inputs, targets = evaluation_windows(test, scale)
+
+        uncalibrated = pipeline.predict(inputs)
+        before = uncertainty_metrics(targets, uncalibrated.mean, uncalibrated.std)
+        pipeline.calibrate(val)
+        calibrated = pipeline.predict(inputs)
+        after = uncertainty_metrics(targets, calibrated.mean, calibrated.std)
+
+        for metric in ("MNLL", "PICP", "MPIW"):
+            rows.append(
+                {
+                    "Dataset": dataset_name,
+                    "Metric": metric,
+                    "No Calibration": before[metric],
+                    "Calibration": after[metric],
+                    "Temperature": pipeline.calibrator.temperature,
+                }
+            )
+    return rows
+
+
+def run_mc_sample_ablation(
+    scale: ExperimentScale,
+    dataset_name: str = "PEMS08",
+    sample_counts: Sequence[int] = (1, 3, 5, 10, 15),
+) -> List[Dict]:
+    """Fig. 11: point metrics of DeepSTUQ vs the number of MC samples."""
+    pipeline, inputs, targets = _fit_pipeline(dataset_name, scale, use_awa=True, use_calibration=True)
+    rows: List[Dict] = []
+    for count in sample_counts:
+        result = pipeline.predict(inputs, num_samples=count, rng=np.random.default_rng(1234))
+        metrics = point_metrics(result.mean, targets)
+        rows.append(
+            {
+                "Dataset": dataset_name,
+                "MC samples": count,
+                "MAE": metrics["MAE"],
+                "RMSE": metrics["RMSE"],
+                "MAPE": metrics["MAPE"],
+            }
+        )
+    return rows
+
+
+def run_lambda_ablation(
+    scale: ExperimentScale,
+    dataset_name: str = "PEMS08",
+    lambda_values: Sequence[float] = (0.01, 0.1, 0.5, 1.0),
+) -> List[Dict]:
+    """Extension ablation: sensitivity of DeepSTUQ to the combined-loss weight."""
+    rows: List[Dict] = []
+    for lambda_weight in lambda_values:
+        pipeline, inputs, targets = _fit_pipeline(
+            dataset_name, scale, use_awa=False, use_calibration=True, lambda_weight=lambda_weight
+        )
+        result = pipeline.predict(inputs)
+        point = point_metrics(result.mean, targets)
+        interval = uncertainty_metrics(targets, result.mean, result.std)
+        rows.append(
+            {
+                "Dataset": dataset_name,
+                "lambda": lambda_weight,
+                "MAE": point["MAE"],
+                "MNLL": interval["MNLL"],
+                "PICP": interval["PICP"],
+            }
+        )
+    return rows

@@ -1,0 +1,59 @@
+"""Dataset helpers for the experiment harness (Table I + shared splits)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data import SlidingWindowDataset, TrafficData, load_pems, train_val_test_split
+from repro.data.pems import DATASET_SPECS
+from repro.evaluation.config import ExperimentScale
+
+
+def dataset_statistics(include_synthetic_summary: bool = False, size: str = "tiny") -> List[Dict]:
+    """Rows of paper Table I: nodes / edges / steps per dataset.
+
+    With ``include_synthetic_summary=True`` each row also carries the
+    statistics of the synthetic stand-in actually generated at ``size``.
+    """
+    rows = []
+    for name, spec in DATASET_SPECS.items():
+        row = {
+            "Dataset": name,
+            "# of Nodes": spec.num_nodes,
+            "# of Edges": spec.num_edges,
+            "# of Steps": spec.num_steps,
+        }
+        if include_synthetic_summary:
+            traffic = load_pems(name, size=size)
+            summary = traffic.summary()
+            row.update(
+                {
+                    "synthetic nodes": summary["num_nodes"],
+                    "synthetic edges": summary["num_edges"],
+                    "synthetic steps": summary["num_steps"],
+                    "mean flow": round(summary["mean_flow"], 1),
+                }
+            )
+        rows.append(row)
+    return rows
+
+
+def load_benchmark_splits(
+    dataset_name: str, scale: ExperimentScale
+) -> Tuple[TrafficData, TrafficData, TrafficData]:
+    """Load a dataset at the scale's size preset and split it 6:2:2."""
+    traffic = load_pems(dataset_name, size=scale.dataset_size)
+    return train_val_test_split(traffic)
+
+
+def evaluation_windows(
+    data: TrafficData, scale: ExperimentScale
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Test windows (inputs, targets), capped at ``scale.max_eval_windows``."""
+    dataset = SlidingWindowDataset(data, history=scale.history, horizon=scale.horizon)
+    count = min(len(dataset), scale.max_eval_windows)
+    inputs = np.stack([dataset[i][0] for i in range(count)])
+    targets = np.stack([dataset[i][1] for i in range(count)])
+    return inputs, targets

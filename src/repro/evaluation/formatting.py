@@ -1,0 +1,66 @@
+"""Text formatting of experiment results (what the benchmarks print)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.utils.tables import format_table
+
+
+def format_rows(rows: Sequence[Dict], title: str = "", precision: int = 2) -> str:
+    """Render a list of homogeneous row dicts as a fixed-width text table."""
+    if not rows:
+        return title or "(no rows)"
+    headers = list(rows[0].keys())
+    body = [[row.get(header, "") for header in headers] for row in rows]
+    return format_table(headers, body, precision=precision, title=title)
+
+
+def format_method_table(
+    rows: Sequence[Dict],
+    metrics: Sequence[str],
+    row_key: str = "Method",
+    group_key: str = "Dataset",
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Pivot (dataset, method, metrics...) rows into the paper's table layout.
+
+    One block per dataset; one column per method; one line per metric —
+    matching the structure of Tables III and IV.
+    """
+    if not rows:
+        return title or "(no rows)"
+    datasets = sorted({row[group_key] for row in rows})
+    methods = list(dict.fromkeys(row[row_key] for row in rows))
+    blocks: List[str] = [title] if title else []
+    for dataset in datasets:
+        subset = {row[row_key]: row for row in rows if row[group_key] == dataset}
+        table_rows = []
+        for metric in metrics:
+            table_rows.append([metric] + [subset.get(m, {}).get(metric, float("nan")) for m in methods])
+        blocks.append(
+            format_table(["Metric"] + methods, table_rows, precision=precision, title=str(dataset))
+        )
+    return "\n\n".join(blocks)
+
+
+def format_figure_series(
+    records: Sequence[Dict],
+    x_key: str,
+    series_keys: Sequence[str],
+    label_keys: Sequence[str] = ("Dataset",),
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render figure data (one record per curve) as aligned text series."""
+    blocks: List[str] = [title] if title else []
+    for record in records:
+        label = ", ".join(str(record[k]) for k in label_keys if k in record)
+        headers = [x_key] + list(series_keys)
+        xs = record[x_key]
+        rows = []
+        for index, x in enumerate(xs):
+            rows.append([x] + [record[key][index] for key in series_keys])
+        blocks.append(format_table(headers, rows, precision=precision, title=label))
+    return "\n\n".join(blocks)

@@ -1,0 +1,108 @@
+"""Table III runner: point-prediction comparison of the baseline models.
+
+For every (dataset, model) pair a model is trained with the shared training
+configuration and evaluated with MAE / RMSE / MAPE on the test split.  The
+model zoo matches the columns of paper Table III; ``DeepSTUQ/S`` and
+``DeepSTUQ`` are handled by the uncertainty harness and merged by the
+benchmark script.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.losses import point_l1_loss
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.datasets import TrafficData
+from repro.evaluation.config import ExperimentScale, make_training_config
+from repro.evaluation.datasets import evaluation_windows, load_benchmark_splits
+from repro.metrics import point_metrics
+from repro.models import AGCRN, ASTGCN, DCRNN, STFGNN, STGCN, STSGCN, GraphWaveNet
+from repro.models.base import ForecastModel
+
+#: Columns of paper Table III handled by this runner (in paper order).
+POINT_MODEL_NAMES = ("DCRNN", "ST-GCN", "GWN", "ASTGCN", "STSGCN", "STFGNN", "AGCRN")
+
+
+def build_point_model(
+    name: str,
+    num_nodes: int,
+    adjacency: np.ndarray,
+    config: TrainingConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> ForecastModel:
+    """Instantiate one of the Table III baselines with shared dimensions."""
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    common = dict(history=config.history, horizon=config.horizon, rng=rng)
+    if name == "DCRNN":
+        return DCRNN(num_nodes, adjacency, hidden_dim=config.hidden_dim, **common)
+    if name == "ST-GCN":
+        return STGCN(num_nodes, adjacency, hidden_channels=config.hidden_dim, **common)
+    if name == "GWN":
+        return GraphWaveNet(
+            num_nodes, adjacency, channels=config.hidden_dim, embed_dim=config.embed_dim, **common
+        )
+    if name == "ASTGCN":
+        return ASTGCN(num_nodes, adjacency, hidden_channels=config.hidden_dim, **common)
+    if name == "STSGCN":
+        return STSGCN(num_nodes, adjacency, hidden_channels=config.hidden_dim, **common)
+    if name == "STFGNN":
+        return STFGNN(num_nodes, adjacency, hidden_channels=config.hidden_dim, **common)
+    if name == "AGCRN":
+        return AGCRN(
+            num_nodes,
+            history=config.history,
+            horizon=config.horizon,
+            hidden_dim=config.hidden_dim,
+            embed_dim=config.embed_dim,
+            encoder_dropout=config.encoder_dropout,
+            decoder_dropout=config.decoder_dropout,
+            heads=("mean",),
+            rng=rng,
+        )
+    raise KeyError(f"unknown point model {name!r}; available: {POINT_MODEL_NAMES}")
+
+
+def train_and_evaluate_point_model(
+    name: str,
+    train_data: TrafficData,
+    val_data: TrafficData,
+    test_data: TrafficData,
+    config: TrainingConfig,
+    scale: ExperimentScale,
+) -> Dict[str, float]:
+    """Train one baseline and return its test MAE / RMSE / MAPE."""
+    adjacency = train_data.network.adjacency_matrix()
+    model = build_point_model(name, train_data.num_nodes, adjacency, config)
+    trainer = Trainer(model, config, lambda output, target: point_l1_loss(output, target))
+    trainer.fit(train_data)
+    inputs, targets = evaluation_windows(test_data, scale)
+    prediction = trainer.scaler.inverse_transform(model.predict(trainer.scaler.transform(inputs)))
+    return point_metrics(prediction, targets)
+
+
+def run_point_prediction(
+    scale: ExperimentScale,
+    datasets: Optional[Sequence[str]] = None,
+    model_names: Sequence[str] = POINT_MODEL_NAMES,
+) -> List[Dict]:
+    """Regenerate the rows of Table III (one row per dataset/model/metric bundle)."""
+    datasets = datasets if datasets is not None else scale.datasets
+    rows: List[Dict] = []
+    for dataset_name in datasets:
+        train, val, test = load_benchmark_splits(dataset_name, scale)
+        config = make_training_config(scale, dataset_name)
+        for model_name in model_names:
+            metrics = train_and_evaluate_point_model(model_name, train, val, test, config, scale)
+            rows.append(
+                {
+                    "Dataset": dataset_name,
+                    "Model": model_name,
+                    "MAE": metrics["MAE"],
+                    "RMSE": metrics["RMSE"],
+                    "MAPE": metrics["MAPE"],
+                }
+            )
+    return rows

@@ -1,0 +1,36 @@
+"""Evaluation metrics for point prediction and uncertainty quantification.
+
+Point metrics (paper Section V-D1): MAE, RMSE, MAPE.
+Uncertainty metrics (Section V-D2): mean negative log-likelihood (MNLL),
+prediction-interval coverage probability (PICP) and mean prediction-interval
+width (MPIW), plus a few auxiliary scores (Winkler / interval score,
+coverage-width criterion) used by the extension benchmarks.
+"""
+
+from repro.metrics.point import mae, mape, point_metrics, rmse
+from repro.metrics.uncertainty import (
+    coverage_width_criterion,
+    interval_bounds,
+    mnll,
+    mpiw,
+    picp,
+    uncertainty_metrics,
+    winkler_score,
+)
+from repro.metrics.horizon import per_horizon_metrics, per_horizon_uncertainty
+
+__all__ = [
+    "mae",
+    "rmse",
+    "mape",
+    "point_metrics",
+    "mnll",
+    "picp",
+    "mpiw",
+    "interval_bounds",
+    "winkler_score",
+    "coverage_width_criterion",
+    "uncertainty_metrics",
+    "per_horizon_metrics",
+    "per_horizon_uncertainty",
+]

@@ -1,0 +1,67 @@
+"""Per-horizon metric curves (paper Figs. 7 and 10).
+
+Predictions and targets are arrays of shape ``(num_samples, horizon,
+num_nodes)``; the functions below slice along the horizon axis and report
+one metric value per forecast step (5, 10, ..., 60 minutes ahead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metrics.point import mae, mape, rmse
+
+
+def _validate_horizon(array: np.ndarray) -> np.ndarray:
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 3:
+        raise ValueError(f"expected (samples, horizon, nodes), got shape {array.shape}")
+    return array
+
+
+def per_horizon_metrics(
+    prediction: np.ndarray, target: np.ndarray, interval_minutes: int = 5
+) -> Dict[str, List[float]]:
+    """MAE / RMSE / MAPE per forecast step (Fig. 7).
+
+    Returns a dict with keys ``horizon_minutes``, ``MAE``, ``RMSE``, ``MAPE``,
+    each a list with one value per horizon step.
+    """
+    prediction = _validate_horizon(prediction)
+    target = _validate_horizon(target)
+    if prediction.shape != target.shape:
+        raise ValueError("prediction and target must have the same shape")
+    horizon = prediction.shape[1]
+    result: Dict[str, List[float]] = {
+        "horizon_minutes": [(step + 1) * interval_minutes for step in range(horizon)],
+        "MAE": [],
+        "RMSE": [],
+        "MAPE": [],
+    }
+    for step in range(horizon):
+        result["MAE"].append(mae(prediction[:, step], target[:, step]))
+        result["RMSE"].append(rmse(prediction[:, step], target[:, step]))
+        result["MAPE"].append(mape(prediction[:, step], target[:, step]))
+    return result
+
+
+def per_horizon_uncertainty(
+    aleatoric_std: np.ndarray,
+    epistemic_std: Optional[np.ndarray] = None,
+    interval_minutes: int = 5,
+) -> Dict[str, List[float]]:
+    """Mean aleatoric / epistemic uncertainty per forecast step (Fig. 10)."""
+    aleatoric_std = _validate_horizon(aleatoric_std)
+    horizon = aleatoric_std.shape[1]
+    result: Dict[str, List[float]] = {
+        "horizon_minutes": [(step + 1) * interval_minutes for step in range(horizon)],
+        "aleatoric": [float(np.mean(aleatoric_std[:, step])) for step in range(horizon)],
+    }
+    if epistemic_std is not None:
+        epistemic_std = _validate_horizon(epistemic_std)
+        if epistemic_std.shape != aleatoric_std.shape:
+            raise ValueError("aleatoric and epistemic arrays must have the same shape")
+        result["epistemic"] = [float(np.mean(epistemic_std[:, step])) for step in range(horizon)]
+    return result

@@ -1,0 +1,50 @@
+"""Point-prediction metrics: MAE, RMSE, MAPE (paper Eqs. 20-22)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def _validate(prediction: np.ndarray, target: np.ndarray) -> tuple:
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    return prediction, target
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error (Eq. 21)."""
+    prediction, target = _validate(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error (Eq. 20)."""
+    prediction, target = _validate(prediction, target)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, epsilon: float = 10.0) -> float:
+    """Mean absolute percentage error (Eq. 22), in percent.
+
+    Near-zero targets are masked out (standard practice for traffic flow,
+    where sensor dropouts produce zeros that would make MAPE explode).
+    ``epsilon`` is the minimum absolute target value included.
+    """
+    prediction, target = _validate(prediction, target)
+    mask = np.abs(target) >= epsilon
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(np.abs((prediction[mask] - target[mask]) / target[mask])) * 100.0)
+
+
+def point_metrics(prediction: np.ndarray, target: np.ndarray) -> Dict[str, float]:
+    """All three point metrics as a dict (keys ``MAE``, ``RMSE``, ``MAPE``)."""
+    return {
+        "MAE": mae(prediction, target),
+        "RMSE": rmse(prediction, target),
+        "MAPE": mape(prediction, target),
+    }

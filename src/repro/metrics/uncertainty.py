@@ -1,0 +1,123 @@
+"""Uncertainty-quantification metrics (paper Eqs. 23-26).
+
+All functions operate on NumPy arrays in the original data scale.  Predictive
+distributions are summarized by a mean and a standard deviation; interval
+metrics use the Gaussian 95% interval ``mean +- 1.96 sigma`` unless explicit
+bounds are supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: z-score of the 97.5th percentile of the standard normal (95% interval).
+Z_95 = 1.959963984540054
+
+
+def _validate(*arrays: np.ndarray) -> Tuple[np.ndarray, ...]:
+    converted = tuple(np.asarray(a, dtype=np.float64) for a in arrays)
+    first = converted[0].shape
+    for array in converted[1:]:
+        if array.shape != first:
+            raise ValueError(f"shape mismatch: {[a.shape for a in converted]}")
+    return converted
+
+
+def interval_bounds(
+    mean: np.ndarray, std: np.ndarray, significance: float = 0.05
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian central prediction interval at level ``1 - significance``.
+
+    For the paper's 95% intervals (``alpha = 5%``) the bounds are
+    ``mean +- 1.96 sigma`` (Section V-D2b).
+    """
+    from scipy import stats
+
+    mean, std = _validate(mean, std)
+    if not 0.0 < significance < 1.0:
+        raise ValueError("significance must lie in (0, 1)")
+    if np.any(std < 0):
+        raise ValueError("std must be non-negative")
+    z = float(stats.norm.ppf(1.0 - significance / 2.0))
+    return mean - z * std, mean + z * std
+
+
+def mnll(target: np.ndarray, mean: np.ndarray, variance: np.ndarray) -> float:
+    """Mean negative Gaussian log-likelihood (Eq. 23)."""
+    target, mean, variance = _validate(target, mean, variance)
+    variance = np.maximum(variance, 1e-6)
+    nll = 0.5 * (np.log(2.0 * np.pi * variance) + (target - mean) ** 2 / variance)
+    return float(np.mean(nll))
+
+
+def picp(target: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> float:
+    """Prediction-interval coverage probability, in percent (Eqs. 24-25)."""
+    target, lower, upper = _validate(target, lower, upper)
+    covered = (target >= lower) & (target <= upper)
+    return float(np.mean(covered) * 100.0)
+
+
+def mpiw(lower: np.ndarray, upper: np.ndarray) -> float:
+    """Mean prediction-interval width (Eq. 26)."""
+    lower, upper = _validate(lower, upper)
+    if np.any(upper < lower):
+        raise ValueError("upper bounds must not be smaller than lower bounds")
+    return float(np.mean(upper - lower))
+
+
+def winkler_score(
+    target: np.ndarray, lower: np.ndarray, upper: np.ndarray, significance: float = 0.05
+) -> float:
+    """Winkler / interval score: width plus a penalty for missed coverage.
+
+    Lower is better; proper scoring rule for central intervals.
+    """
+    target, lower, upper = _validate(target, lower, upper)
+    width = upper - lower
+    below = (lower - target) * (target < lower)
+    above = (target - upper) * (target > upper)
+    return float(np.mean(width + (2.0 / significance) * (below + above)))
+
+
+def coverage_width_criterion(
+    target: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    nominal: float = 95.0,
+    eta: float = 10.0,
+) -> float:
+    """Coverage-width criterion: MPIW inflated when PICP misses the nominal level."""
+    coverage = picp(target, lower, upper)
+    width = mpiw(lower, upper)
+    penalty = np.exp(-eta * (coverage - nominal) / 100.0) if coverage < nominal else 0.0
+    return float(width * (1.0 + penalty))
+
+
+def uncertainty_metrics(
+    target: np.ndarray,
+    mean: np.ndarray,
+    std: np.ndarray,
+    lower: Optional[np.ndarray] = None,
+    upper: Optional[np.ndarray] = None,
+    significance: float = 0.05,
+) -> Dict[str, float]:
+    """MNLL / PICP / MPIW bundle used by the Table IV benchmark.
+
+    If explicit bounds are not given they are derived from the Gaussian
+    assumption; distribution-free methods (quantile regression, CFRNN) pass
+    their own bounds and report ``MNLL = nan``.
+    """
+    target, mean, std = _validate(target, mean, std)
+    if lower is None or upper is None:
+        lower, upper = interval_bounds(mean, std, significance)
+        log_likelihood = mnll(target, mean, std ** 2)
+    else:
+        target, lower, upper = _validate(target, lower, upper)
+        log_likelihood = mnll(target, mean, std ** 2) if np.all(std > 0) else float("nan")
+    return {
+        "MNLL": log_likelihood,
+        "PICP": picp(target, lower, upper),
+        "MPIW": mpiw(lower, upper),
+    }

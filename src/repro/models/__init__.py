@@ -1,0 +1,47 @@
+"""Spatio-temporal traffic forecasting models.
+
+:class:`AGCRN` is the base architecture of DeepSTUQ (adaptive graph
+convolution inside a GRU, with independent mean / log-variance decoder
+heads).  The remaining classes are the point-prediction baselines of the
+paper's Table III, re-implemented on the NumPy substrate:
+
+========  =============================================================
+Model     Key idea (paper reference)
+========  =============================================================
+DCRNN     diffusion convolution + recurrent seq2seq (Li et al., 2018)
+STGCN     gated temporal conv + Chebyshev graph conv (Yu et al., 2018)
+GWN       GraphWaveNet: dilated causal conv + self-adaptive adjacency
+ASTGCN    spatial/temporal attention + graph conv (Guo et al., 2019)
+STSGCN    localized spatial-temporal synchronous graph conv
+STFGNN    spatial-temporal fusion graph + gated dilated CNN
+AGCRN     adaptive graph conv recurrent network (Bai et al., 2020)
+========  =============================================================
+
+Naive references (:class:`HistoricalAverage`, :class:`LastValue`) are also
+included for sanity checks.
+"""
+
+from repro.models.base import ForecastModel
+from repro.models.agcrn import AGCRN, AGCRNCell
+from repro.models.dcrnn import DCRNN, DCGRUCell
+from repro.models.stgcn import STGCN
+from repro.models.gwnet import GraphWaveNet
+from repro.models.astgcn import ASTGCN
+from repro.models.stsgcn import STSGCN
+from repro.models.stfgnn import STFGNN
+from repro.models.naive import HistoricalAverage, LastValue
+
+__all__ = [
+    "ForecastModel",
+    "AGCRN",
+    "AGCRNCell",
+    "DCRNN",
+    "DCGRUCell",
+    "STGCN",
+    "GraphWaveNet",
+    "ASTGCN",
+    "STSGCN",
+    "STFGNN",
+    "HistoricalAverage",
+    "LastValue",
+]

@@ -1,0 +1,62 @@
+"""ASTGCN — Attention-based Spatial-Temporal GCN (Guo et al., AAAI 2019).
+
+Spatial attention re-weights the Chebyshev graph convolution supports and
+temporal attention re-weights the time axis before a temporal convolution;
+a per-node projection of the flattened representation produces the forecast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graph.adjacency import chebyshev_polynomials
+from repro.models.base import ForecastModel
+from repro.tensor import Tensor
+
+
+class ASTGCN(ForecastModel):
+    """Single ASTGCN block (attention + graph conv + temporal conv) + head."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        adjacency: np.ndarray,
+        history: int = 12,
+        horizon: int = 12,
+        hidden_channels: int = 16,
+        cheb_order: int = 2,
+        kernel_size: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(num_nodes, history, horizon)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.supports = [Tensor(s) for s in chebyshev_polynomials(adjacency, order=cheb_order)]
+        self.spatial_attention = nn.SpatialAttention(history, 1, rng=rng)
+        self.temporal_attention = nn.TemporalAttention(num_nodes, 1, rng=rng)
+        self.graph_conv = nn.ChebConv(1, hidden_channels, [s.numpy() for s in self.supports], rng=rng)
+        self.temporal_conv = nn.CausalConv1d(hidden_channels, hidden_channels, kernel_size, rng=rng)
+        self.output = nn.Linear(history * hidden_channels, horizon, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        x = self._validate_input(x)
+        signal = x.unsqueeze(-1)  # (B, T, N, 1)
+
+        # Temporal attention: re-weight the history axis.
+        temporal_scores = self.temporal_attention(signal)  # (B, T, T)
+        batch, steps, nodes, channels = signal.shape
+        flat_time = signal.reshape(batch, steps, nodes * channels)
+        attended_time = temporal_scores.matmul(flat_time).reshape(batch, steps, nodes, channels)
+
+        # Spatial attention: re-weight node interactions for the graph conv.
+        spatial_scores = self.spatial_attention(attended_time)  # (B, N, N)
+        flattened = attended_time.reshape(batch * steps, nodes, channels)
+        convolved = self.graph_conv(flattened).relu().reshape(batch, steps, nodes, -1)
+        # Apply spatial attention on the convolved signal (B, T, N, C).
+        convolved = spatial_scores.unsqueeze(1).matmul(convolved)
+
+        out = self.temporal_conv(convolved).relu()
+        collapsed = out.transpose(0, 2, 1, 3).reshape(batch, nodes, -1)
+        return self.output(collapsed).transpose(0, 2, 1)

@@ -1,0 +1,104 @@
+"""GraphWaveNet (Wu et al., IJCAI 2019).
+
+Stacked gated dilated causal convolutions interleaved with graph convolutions
+over both the fixed road-network supports and a *self-adaptive* adjacency
+learned from node embeddings, with skip connections collected into the output
+layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graph.adjacency import diffusion_supports
+from repro.models.base import ForecastModel
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class _SelfAdaptiveAdjacency(Module):
+    """``softmax(ReLU(E1 E2^T))`` with two independent embedding matrices."""
+
+    def __init__(self, num_nodes: int, embed_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.source = Parameter(init.normal((num_nodes, embed_dim), std=0.1, rng=rng))
+        self.target = Parameter(init.normal((num_nodes, embed_dim), std=0.1, rng=rng))
+
+    def forward(self) -> Tensor:
+        return F.softmax(self.source.matmul(self.target.transpose()).relu(), axis=-1)
+
+
+class _GWNetLayer(Module):
+    """One GraphWaveNet layer: gated dilated TCN + graph convolution + residual."""
+
+    def __init__(
+        self,
+        channels: int,
+        supports,
+        dilation: int,
+        kernel_size: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.temporal = nn.GatedTemporalConv(channels, channels, kernel_size, dilation=dilation, rng=rng)
+        self.graph_conv = nn.ChebConv(channels, channels, supports, rng=rng)
+        self.skip = nn.Linear(channels, channels, rng=rng)
+
+    def forward(self, x: Tensor, adaptive_support: Tensor) -> tuple:
+        out = self.temporal(x)
+        batch, steps, nodes, channels = out.shape
+        flattened = out.reshape(batch * steps, nodes, channels)
+        spatial = self.graph_conv(flattened) + adaptive_support.matmul(flattened)
+        spatial = spatial.relu().reshape(batch, steps, nodes, channels)
+        skip = self.skip(out)
+        return spatial + x, skip
+
+
+class GraphWaveNet(ForecastModel):
+    """GraphWaveNet with a self-adaptive adjacency and skip-connection head."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        adjacency: np.ndarray,
+        history: int = 12,
+        horizon: int = 12,
+        channels: int = 16,
+        num_layers: int = 3,
+        embed_dim: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(num_nodes, history, horizon)
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        supports = diffusion_supports(adjacency)
+        self.input_proj = nn.Linear(1, channels, rng=rng)
+        self.adaptive = _SelfAdaptiveAdjacency(num_nodes, embed_dim, rng=rng)
+        self.layers = nn.ModuleList(
+            [_GWNetLayer(channels, supports, dilation=2 ** i, rng=rng) for i in range(num_layers)]
+        )
+        self.output1 = nn.Linear(channels, channels, rng=rng)
+        self.output2 = nn.Linear(history * channels, horizon, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        x = self._validate_input(x)
+        signal = self.input_proj(x.unsqueeze(-1))  # (B, T, N, C)
+        adaptive_support = self.adaptive()
+        skips: List[Tensor] = []
+        out = signal
+        for layer in self.layers:
+            out, skip = layer(out, adaptive_support)
+            skips.append(skip)
+        total_skip = skips[0]
+        for skip in skips[1:]:
+            total_skip = total_skip + skip
+        activated = self.output1(total_skip.relu()).relu()  # (B, T, N, C)
+        batch, steps, nodes, channels = activated.shape
+        collapsed = activated.transpose(0, 2, 1, 3).reshape(batch, nodes, steps * channels)
+        return self.output2(collapsed).transpose(0, 2, 1)

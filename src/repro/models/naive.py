@@ -1,0 +1,30 @@
+"""Naive reference forecasters used for sanity checks.
+
+These have no trainable parameters: any learned model in the benchmark suite
+should comfortably beat them, which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import ForecastModel
+from repro.tensor import Tensor
+
+
+class LastValue(ForecastModel):
+    """Repeat the last observed value of each sensor over the whole horizon."""
+
+    def forward(self, x) -> Tensor:
+        x = self._validate_input(x)
+        last = x[:, self.history - 1 : self.history, :]
+        return last.broadcast_to((x.shape[0], self.horizon, self.num_nodes))
+
+
+class HistoricalAverage(ForecastModel):
+    """Forecast the mean of the history window for every horizon step."""
+
+    def forward(self, x) -> Tensor:
+        x = self._validate_input(x)
+        mean = x.mean(axis=1, keepdims=True)
+        return mean.broadcast_to((x.shape[0], self.horizon, self.num_nodes))

@@ -1,0 +1,78 @@
+"""ST-GCN — Spatio-Temporal Graph Convolutional Network (Yu et al., IJCAI 2018).
+
+The "sandwich" ST-Conv block: gated temporal convolution, Chebyshev graph
+convolution, gated temporal convolution, followed by a final temporal
+aggregation and per-node projection to the forecast horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graph.adjacency import chebyshev_polynomials
+from repro.models.base import ForecastModel
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class _STConvBlock(Module):
+    """Temporal-spatial-temporal convolution block."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        spatial_channels: int,
+        out_channels: int,
+        supports,
+        kernel_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.temporal1 = nn.GatedTemporalConv(in_channels, spatial_channels, kernel_size, rng=rng)
+        self.spatial = nn.ChebConv(spatial_channels, spatial_channels, supports, rng=rng)
+        self.temporal2 = nn.GatedTemporalConv(spatial_channels, out_channels, kernel_size, rng=rng)
+        self.norm = nn.LayerNorm(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (B, T, N, C)
+        out = self.temporal1(x)
+        batch, steps, nodes, channels = out.shape
+        flattened = out.reshape(batch * steps, nodes, channels)
+        out = self.spatial(flattened).relu().reshape(batch, steps, nodes, channels)
+        out = self.temporal2(out)
+        return self.norm(out)
+
+
+class STGCN(ForecastModel):
+    """Two ST-Conv blocks followed by a temporal-collapse output layer."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        adjacency: np.ndarray,
+        history: int = 12,
+        horizon: int = 12,
+        hidden_channels: int = 16,
+        cheb_order: int = 2,
+        kernel_size: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(num_nodes, history, horizon)
+        rng = rng if rng is not None else np.random.default_rng()
+        supports = chebyshev_polynomials(adjacency, order=cheb_order)
+        self.block1 = _STConvBlock(1, hidden_channels, hidden_channels, supports, kernel_size, rng=rng)
+        self.block2 = _STConvBlock(
+            hidden_channels, hidden_channels, hidden_channels, supports, kernel_size, rng=rng
+        )
+        self.output = nn.Linear(history * hidden_channels, horizon, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        x = self._validate_input(x)
+        signal = x.unsqueeze(-1)  # (B, T, N, 1)
+        out = self.block2(self.block1(signal))  # (B, T, N, C)
+        batch, steps, nodes, channels = out.shape
+        collapsed = out.transpose(0, 2, 1, 3).reshape(batch, nodes, steps * channels)
+        return self.output(collapsed).transpose(0, 2, 1)

@@ -1,0 +1,87 @@
+"""STSGCN — Spatial-Temporal Synchronous Graph Convolutional Network
+(Song et al., AAAI 2020).
+
+The key idea is a *localized spatial-temporal graph*: three consecutive time
+slices are stitched into one big graph of ``3 N`` nodes (each node connected
+to itself in the previous/next slice), and an ordinary graph convolution over
+that block-adjacency captures spatial and short-range temporal correlations
+*synchronously*.  Sliding this module over the history and aggregating (with
+max pooling in the original paper; mean here) yields the representation that
+is projected onto the forecast horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.graph.adjacency import gcn_support
+from repro.models.base import ForecastModel
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def build_localized_st_adjacency(adjacency: np.ndarray, num_slices: int = 3) -> np.ndarray:
+    """Block adjacency of ``num_slices`` copies of the spatial graph.
+
+    Diagonal blocks hold the spatial adjacency; off-diagonal blocks connect
+    each sensor to itself in the adjacent time slice.
+    """
+    if num_slices < 2:
+        raise ValueError("num_slices must be >= 2")
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    num_nodes = adjacency.shape[0]
+    size = num_slices * num_nodes
+    localized = np.zeros((size, size))
+    identity = np.eye(num_nodes)
+    for s in range(num_slices):
+        start = s * num_nodes
+        localized[start : start + num_nodes, start : start + num_nodes] = adjacency
+        if s + 1 < num_slices:
+            nxt = (s + 1) * num_nodes
+            localized[start : start + num_nodes, nxt : nxt + num_nodes] = identity
+            localized[nxt : nxt + num_nodes, start : start + num_nodes] = identity
+    return localized
+
+
+class STSGCN(ForecastModel):
+    """Synchronous spatio-temporal graph convolution over sliding 3-slice windows."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        adjacency: np.ndarray,
+        history: int = 12,
+        horizon: int = 12,
+        hidden_channels: int = 16,
+        window: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(num_nodes, history, horizon)
+        if window < 2 or window > history:
+            raise ValueError("window must be in [2, history]")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.window = window
+        localized = build_localized_st_adjacency(adjacency, num_slices=window)
+        self.graph_conv1 = nn.GCNLayer(1, hidden_channels, gcn_support(localized), activation="relu", rng=rng)
+        self.graph_conv2 = nn.GCNLayer(
+            hidden_channels, hidden_channels, gcn_support(localized), activation="relu", rng=rng
+        )
+        num_windows = history - window + 1
+        self.output = nn.Linear(num_windows * hidden_channels, horizon, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        x = self._validate_input(x)
+        batch = x.shape[0]
+        window_outputs = []
+        for start in range(self.history - self.window + 1):
+            # (B, window, N) -> localized graph signal (B, window * N, 1)
+            piece = x[:, start : start + self.window, :].reshape(batch, self.window * self.num_nodes, 1)
+            convolved = self.graph_conv2(self.graph_conv1(piece))  # (B, window*N, C)
+            # Aggregate over the time slices of the localized graph (mean pooling).
+            per_slice = convolved.reshape(batch, self.window, self.num_nodes, -1)
+            window_outputs.append(per_slice.mean(axis=1))  # (B, N, C)
+        stacked = F.cat(window_outputs, axis=-1)  # (B, N, num_windows * C)
+        return self.output(stacked).transpose(0, 2, 1)

@@ -1,0 +1,73 @@
+"""Spatial and temporal attention blocks (ASTGCN-style).
+
+ASTGCN augments graph/temporal convolutions with attention matrices that
+re-weight the adjacency (spatial attention) and the time axis (temporal
+attention).  The formulations below follow Guo et al. (AAAI 2019) with the
+bilinear score parameterization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class SpatialAttention(Module):
+    """Produce an ``(N, N)`` attention matrix from a spatio-temporal signal.
+
+    Input shape: ``(batch, time, num_nodes, channels)``.
+    Output shape: ``(batch, num_nodes, num_nodes)`` row-normalized scores.
+    """
+
+    def __init__(
+        self,
+        num_steps: int,
+        channels: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.w_time = Parameter(init.xavier_uniform((num_steps, 1), rng=rng))
+        self.w_channel = Parameter(init.xavier_uniform((channels, 1), rng=rng))
+        self.bias = Parameter(init.zeros((1,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Collapse time: (B, T, N, C) -> (B, N, C) via learned time weights.
+        collapsed_time = (x.transpose(0, 2, 3, 1).matmul(self.w_time)).squeeze(-1)  # (B, N, C)
+        # Collapse channels: (B, N, C) -> (B, N) via learned channel weights.
+        left = collapsed_time  # (B, N, C)
+        right = collapsed_time.matmul(self.w_channel)  # (B, N, 1)
+        scores = left.matmul(left.transpose(0, 2, 1)) + right + self.bias  # (B, N, N)
+        return F.softmax(scores.sigmoid(), axis=-1)
+
+
+class TemporalAttention(Module):
+    """Produce a ``(T, T)`` attention matrix over the time axis.
+
+    Input shape: ``(batch, time, num_nodes, channels)``.
+    Output shape: ``(batch, time, time)`` row-normalized scores.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        channels: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.w_node = Parameter(init.xavier_uniform((num_nodes, 1), rng=rng))
+        self.w_channel = Parameter(init.xavier_uniform((channels, 1), rng=rng))
+        self.bias = Parameter(init.zeros((1,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Collapse nodes: (B, T, N, C) -> (B, T, C).
+        collapsed_nodes = (x.transpose(0, 1, 3, 2).matmul(self.w_node)).squeeze(-1)
+        left = collapsed_nodes  # (B, T, C)
+        right = collapsed_nodes.matmul(self.w_channel)  # (B, T, 1)
+        scores = left.matmul(left.transpose(0, 2, 1)) + right + self.bias  # (B, T, T)
+        return F.softmax(scores.sigmoid(), axis=-1)

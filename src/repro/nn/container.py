@@ -1,0 +1,69 @@
+"""Module containers: :class:`Sequential` and :class:`ModuleList`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next module's input."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._ordered.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._ordered)), module)
+        self._ordered.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, x):
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of sub-modules whose parameters are properly registered.
+
+    Unlike :class:`Sequential`, a ``ModuleList`` has no forward semantics of
+    its own; it simply holds modules for explicit indexing in the owner's
+    ``forward``.
+    """
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._ordered)), module)
+        self._ordered.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError("ModuleList has no forward; index into it explicitly")

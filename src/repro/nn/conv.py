@@ -1,0 +1,119 @@
+"""Temporal convolution layers.
+
+Traffic baselines such as ST-GCN and GraphWaveNet model temporal dependency
+with (gated, dilated) 1-D convolutions along the time axis.  The layers here
+operate on node signals of shape ``(batch, time, num_nodes, channels)`` and
+convolve along ``time`` only, which is exactly the "1x k" convolution those
+architectures use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class CausalConv1d(Module):
+    """Causal (left-padded), optionally dilated convolution along the time axis.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel dimensions of the node signal.
+    kernel_size:
+        Temporal receptive field of the filter.
+    dilation:
+        Spacing between filter taps.
+    causal:
+        When ``True`` the input is left-padded so the output has the same
+        length as the input and only looks at past steps.  When ``False`` the
+        output is shortened by ``(kernel_size - 1) * dilation`` steps (valid
+        convolution), matching ST-GCN's temporal blocks.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        causal: bool = True,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size < 1 or dilation < 1:
+            raise ValueError("kernel_size and dilation must be >= 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.causal = causal
+        self.weight = Parameter(
+            init.xavier_uniform((kernel_size, in_channels, out_channels), rng=rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    @property
+    def receptive_field(self) -> int:
+        return (self.kernel_size - 1) * self.dilation + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Convolve ``x`` of shape (batch, time, num_nodes, in_channels)."""
+        if x.ndim != 4:
+            raise ValueError(f"CausalConv1d expects 4-D input, got shape {x.shape}")
+        batch, num_steps, num_nodes, _ = x.shape
+        pad = (self.kernel_size - 1) * self.dilation
+        if self.causal and pad > 0:
+            padding = Tensor(np.zeros((batch, pad, num_nodes, self.in_channels)))
+            x = F.cat([padding, x], axis=1)
+        out_steps = x.shape[1] - pad
+        if out_steps <= 0:
+            raise ValueError(
+                f"input has {num_steps} steps but the receptive field is {self.receptive_field}"
+            )
+        taps = []
+        for k in range(self.kernel_size):
+            start = k * self.dilation
+            window = x[:, start : start + out_steps, :, :]
+            taps.append(window.matmul(self.weight[k]))
+        out = taps[0]
+        for tap in taps[1:]:
+            out = out + tap
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class GatedTemporalConv(Module):
+    """Gated linear unit over time: ``tanh(conv_f(x)) * sigmoid(conv_g(x))``.
+
+    This is the temporal block used by ST-GCN / GraphWaveNet / STFGNN's gated
+    dilated CNN module.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        causal: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.filter_conv = CausalConv1d(
+            in_channels, out_channels, kernel_size, dilation=dilation, causal=causal, rng=rng
+        )
+        self.gate_conv = CausalConv1d(
+            in_channels, out_channels, kernel_size, dilation=dilation, causal=causal, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.filter_conv(x).tanh() * self.gate_conv(x).sigmoid()

@@ -1,0 +1,76 @@
+"""Dropout with optional Monte-Carlo (test-time) behaviour.
+
+The DeepSTUQ paper uses *MC dropout* (Gal & Ghahramani, 2016): the same
+Bernoulli masking applied during training is kept active at inference so that
+repeated stochastic forward passes approximate samples from the weight
+posterior.  :class:`Dropout` therefore has two switches:
+
+* ``module.training`` — the usual train/eval flag (standard dropout), and
+* ``mc_active`` — when ``True`` the layer stays stochastic in eval mode.
+
+Models expose :func:`set_mc_dropout` to flip ``mc_active`` on every dropout
+layer in a module tree before/after Monte-Carlo sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.tensor.functional import dropout_mask
+
+
+class Dropout(Module):
+    """Inverted dropout: zero activations with probability ``rate`` and rescale.
+
+    Parameters
+    ----------
+    rate:
+        Probability of dropping an activation; must lie in ``[0, 1)``.
+    rng:
+        Generator used for mask sampling, so stochastic passes are seedable.
+    """
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.mc_active = False
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Replace the mask generator (used to make MC sampling reproducible)."""
+        self._rng = rng
+
+    @property
+    def stochastic(self) -> bool:
+        """Whether the layer will apply a random mask on the next call."""
+        return self.rate > 0.0 and (self.training or self.mc_active)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.stochastic:
+            return x
+        mask = dropout_mask(x.shape, self.rate, self._rng)
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate}, mc_active={self.mc_active})"
+
+
+def set_mc_dropout(module: Module, enabled: bool) -> int:
+    """Enable/disable Monte-Carlo behaviour on every dropout layer of ``module``.
+
+    Returns the number of dropout layers affected, which callers can use to
+    assert that a model actually contains stochastic layers before attempting
+    MC sampling.
+    """
+    count = 0
+    for child in module.modules():
+        if isinstance(child, Dropout):
+            child.mc_active = enabled
+            count += 1
+    return count

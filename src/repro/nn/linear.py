@@ -1,0 +1,56 @@
+"""Fully-connected (affine) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transformation ``y = x @ W + b`` applied to the last axis.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Sizes of the input / output feature dimension.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Random generator used for weight initialization (Xavier uniform).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got input shape {x.shape}"
+            )
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

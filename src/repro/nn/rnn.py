@@ -1,0 +1,85 @@
+"""Recurrent layers: :class:`GRUCell` and multi-step :class:`GRU`.
+
+The plain GRU is used by the CFRNN conformal baseline and as the temporal
+backbone of several baselines; DeepSTUQ's own recurrence replaces the linear
+maps by adaptive graph convolutions (see ``repro.models.agcrn``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class GRUCell(Module):
+    """Single-step gated recurrent unit.
+
+    Gates follow the standard formulation (Cho et al., 2014):
+
+    ``z = sigmoid(W_z [x, h])``, ``r = sigmoid(W_r [x, h])``,
+    ``c = tanh(W_c [x, r * h])``, ``h' = z * h + (1 - z) * c``.
+
+    The update convention matches the paper's Eq. 6 (new state is a convex
+    combination weighted by ``z``).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.gate_z = Linear(input_size + hidden_size, hidden_size, rng=rng)
+        self.gate_r = Linear(input_size + hidden_size, hidden_size, rng=rng)
+        self.candidate = Linear(input_size + hidden_size, hidden_size, rng=rng)
+
+    def init_hidden(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """Advance one step: ``x`` is (batch, input_size), ``hidden`` is (batch, hidden_size)."""
+        combined = F.cat([x, hidden], axis=-1)
+        update = self.gate_z(combined).sigmoid()
+        reset = self.gate_r(combined).sigmoid()
+        candidate = self.candidate(F.cat([x, reset * hidden], axis=-1)).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+
+class GRU(Module):
+    """Multi-step GRU over sequences of shape ``(batch, time, input_size)``.
+
+    Returns the full output sequence ``(batch, time, hidden_size)`` and the
+    final hidden state ``(batch, hidden_size)``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, hidden: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        if x.ndim != 3:
+            raise ValueError(f"GRU expects (batch, time, features), got shape {x.shape}")
+        batch_size, num_steps, _ = x.shape
+        state = hidden if hidden is not None else self.cell.init_hidden(batch_size)
+        outputs: List[Tensor] = []
+        for step in range(num_steps):
+            state = self.cell(x[:, step, :], state)
+            outputs.append(state)
+        return F.stack(outputs, axis=1), state

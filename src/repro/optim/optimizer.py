@@ -1,0 +1,67 @@
+"""Base optimizer class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class for gradient-based optimizers.
+
+    Parameters
+    ----------
+    parameters:
+        Iterable of :class:`~repro.nn.Parameter` objects to update.
+    lr:
+        Learning rate.  Schedulers mutate :attr:`lr` in place.
+    weight_decay:
+        L2 penalty coefficient added to the gradient (``grad + wd * w``).
+        The combined loss of the paper (Eq. 12/14) folds the MC-dropout KL
+        term into exactly this decoupled L2 regularizer.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _gradient(self, param: Parameter) -> Optional[np.ndarray]:
+        """Gradient of ``param`` including the weight-decay term, or None."""
+        if param.grad is None:
+            return None
+        if self.weight_decay:
+            return param.grad + self.weight_decay * param.data
+        return param.grad
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Clip the global gradient norm in place; returns the pre-clip norm."""
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float(np.sum(param.grad ** 2))
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+        return norm

@@ -1,0 +1,62 @@
+"""Running weight average for SWA / Adaptive Weight Averaging.
+
+Implements paper Eq. 15:
+
+``w_SWA <- (w_SWA * n_models + w) / (n_models + 1)``
+
+The averaged weights approximate an ensemble of the local minima visited by
+the cyclic learning-rate schedule while storing only a single model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class WeightAverager:
+    """Maintain the running average of a module's parameters.
+
+    Parameters
+    ----------
+    module:
+        The module whose ``state_dict`` layout defines the averaged weights.
+        The initial average is a copy of the module's current weights when
+        ``include_initial`` is true, otherwise the first :meth:`update` call
+        seeds the average.
+    """
+
+    def __init__(self, module: Module, include_initial: bool = False) -> None:
+        self._template_keys = list(module.state_dict().keys())
+        self.num_models = 0
+        self.average: Optional[Dict[str, np.ndarray]] = None
+        if include_initial:
+            self.update(module)
+
+    def update(self, module: Module) -> None:
+        """Fold the module's current weights into the running average (Eq. 15)."""
+        state = module.state_dict()
+        if set(state.keys()) != set(self._template_keys):
+            raise ValueError("module structure changed between WeightAverager updates")
+        if self.average is None:
+            self.average = {key: value.copy() for key, value in state.items()}
+            self.num_models = 1
+            return
+        n = self.num_models
+        for key, value in state.items():
+            self.average[key] = (self.average[key] * n + value) / (n + 1)
+        self.num_models = n + 1
+
+    def apply_to(self, module: Module) -> None:
+        """Write the averaged weights into ``module``."""
+        if self.average is None:
+            raise RuntimeError("WeightAverager has no accumulated weights yet")
+        module.load_state_dict(self.average)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        if self.average is None:
+            raise RuntimeError("WeightAverager has no accumulated weights yet")
+        return {key: value.copy() for key, value in self.average.items()}

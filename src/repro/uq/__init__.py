@@ -1,0 +1,56 @@
+"""Uncertainty-quantification methods evaluated in the paper (Table II / IV).
+
+Every method wraps the *same* AGCRN base architecture (Section V-C2: "all
+the following methods employ the same base model structure for fair
+comparison") and differs only in its output heads, training loss, sampling
+strategy and calibration:
+
+==============  ===================  =========================
+Class           Paradigm             Uncertainty type
+==============  ===================  =========================
+PointForecaster deterministic        none
+QuantileRegression distribution-free aleatoric
+MVE             frequentist          aleatoric
+MCDropout       Bayesian             epistemic
+Combined        Bayesian             aleatoric + epistemic
+TemperatureScaledMVE frequentist     aleatoric
+FGE             ensembling           epistemic
+DeepEnsemble    ensembling           aleatoric + epistemic
+LocallyWeightedConformal frequentist aleatoric
+CFRNN           distribution-free    aleatoric
+DeepSTUQ        Bayesian + ensembling aleatoric + epistemic
+==============  ===================  =========================
+"""
+
+from repro.uq.base import UQMethod
+from repro.uq.point import PointForecaster
+from repro.uq.quantile import QuantileRegression
+from repro.uq.mve import MVE
+from repro.uq.mc_dropout import MCDropout
+from repro.uq.combined import Combined
+from repro.uq.temperature import TemperatureScaledMVE
+from repro.uq.fge import FGE
+from repro.uq.deep_ensemble import DeepEnsemble
+from repro.uq.conformal import LocallyWeightedConformal
+from repro.uq.cfrnn import CFRNN
+from repro.uq.deepstuq import DeepSTUQ
+from repro.uq.registry import METHOD_INFO, available_methods, create_method, method_info
+
+__all__ = [
+    "UQMethod",
+    "PointForecaster",
+    "QuantileRegression",
+    "MVE",
+    "MCDropout",
+    "Combined",
+    "TemperatureScaledMVE",
+    "FGE",
+    "DeepEnsemble",
+    "LocallyWeightedConformal",
+    "CFRNN",
+    "DeepSTUQ",
+    "METHOD_INFO",
+    "available_methods",
+    "create_method",
+    "method_info",
+]

@@ -1,0 +1,97 @@
+"""Common scaffolding for the uncertainty-quantification methods."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.inference import PredictionResult
+from repro.core.trainer import TrainingConfig
+from repro.data.datasets import SlidingWindowDataset, TrafficData
+from repro.data.scalers import StandardScaler
+from repro.models.agcrn import AGCRN
+
+
+class UQMethod:
+    """Base class: an uncertainty-aware forecaster over a fixed road network.
+
+    Sub-classes set the class attributes ``name``, ``paradigm`` and
+    ``uncertainty_type`` (the Table II taxonomy), implement :meth:`fit`
+    and :meth:`predict`, and typically build their backbone through
+    :meth:`_build_backbone` so every method shares the AGCRN architecture.
+    """
+
+    name: str = "abstract"
+    paradigm: str = "abstract"
+    uncertainty_type: str = "none"
+    #: Whether the predictive distribution is Gaussian (MNLL is meaningful).
+    gaussian_likelihood: bool = True
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[TrainingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.config = config if config is not None else TrainingConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+        self.scaler: Optional[StandardScaler] = None
+        self.fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _build_backbone(self, heads: Tuple[str, ...]) -> AGCRN:
+        """The shared AGCRN base model with the requested output heads."""
+        cfg = self.config
+        return AGCRN(
+            num_nodes=self.num_nodes,
+            history=cfg.history,
+            horizon=cfg.horizon,
+            hidden_dim=cfg.hidden_dim,
+            embed_dim=cfg.embed_dim,
+            cheb_k=cfg.cheb_k,
+            num_layers=cfg.num_layers,
+            encoder_dropout=cfg.encoder_dropout,
+            decoder_dropout=cfg.decoder_dropout,
+            heads=heads,
+            rng=self._rng,
+        )
+
+    def _fit_scaler(self, train_data: TrafficData) -> StandardScaler:
+        self.scaler = StandardScaler().fit(train_data.values)
+        return self.scaler
+
+    def _windows(self, data: TrafficData) -> Tuple[np.ndarray, np.ndarray]:
+        dataset = SlidingWindowDataset(data, history=self.config.history, horizon=self.config.horizon)
+        return dataset.arrays()
+
+    def _scale_inputs(self, histories: np.ndarray) -> np.ndarray:
+        if self.scaler is None:
+            raise RuntimeError(f"{self.name} must be fitted before predicting")
+        return self.scaler.transform(np.asarray(histories, dtype=np.float64))
+
+    def _check_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(f"{self.name} must be fitted before predicting")
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+    def fit(self, train_data: TrafficData, val_data: TrafficData) -> "UQMethod":
+        """Train on the training split (and calibrate on the validation split)."""
+        raise NotImplementedError
+
+    def predict(self, histories: np.ndarray) -> PredictionResult:
+        """Probabilistic forecast for raw history windows (original scale)."""
+        raise NotImplementedError
+
+    def predict_on(self, data: TrafficData) -> Tuple[PredictionResult, np.ndarray]:
+        """Forecast every sliding window of ``data``; returns (result, targets)."""
+        inputs, targets = self._windows(data)
+        return self.predict(inputs), targets
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(paradigm={self.paradigm!r}, uncertainty={self.uncertainty_type!r})"

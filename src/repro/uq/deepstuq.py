@@ -1,0 +1,73 @@
+"""DeepSTUQ — the paper's unified method, exposed through the UQMethod API.
+
+Thin wrapper around :class:`~repro.core.pipeline.DeepSTUQPipeline` so the
+benchmark harness can treat it exactly like the baselines.  ``predict``
+performs the Monte-Carlo forecast of Eq. 19 (default 10 samples); the
+``single_pass`` flag switches to DeepSTUQ/S, i.e. one deterministic forward
+pass at roughly the inference cost of a point model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.awa import AWAConfig
+from repro.core.inference import PredictionResult
+from repro.core.pipeline import DeepSTUQConfig, DeepSTUQPipeline
+from repro.core.trainer import TrainingConfig
+from repro.data.datasets import TrafficData
+from repro.uq.base import UQMethod
+
+
+class DeepSTUQ(UQMethod):
+    """Unified aleatoric + epistemic UQ with AWA re-training and calibration."""
+
+    name = "DeepSTUQ"
+    paradigm = "Bayesian + ensembling"
+    uncertainty_type = "aleatoric + epistemic"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[TrainingConfig] = None,
+        awa_config: Optional[AWAConfig] = None,
+        use_awa: bool = True,
+        use_calibration: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(num_nodes, config, rng)
+        pipeline_config = DeepSTUQConfig(
+            training=self.config,
+            awa=awa_config if awa_config is not None else AWAConfig(),
+            use_awa=use_awa,
+            use_calibration=use_calibration,
+        )
+        self.pipeline = DeepSTUQPipeline(num_nodes, pipeline_config, rng=self._rng)
+
+    @property
+    def temperature(self) -> float:
+        """The fitted calibration temperature (1.0 before calibration)."""
+        return self.pipeline.calibrator.temperature
+
+    def fit(self, train_data: TrafficData, val_data: TrafficData) -> "DeepSTUQ":
+        self.pipeline.fit(train_data, val_data)
+        self.scaler = self.pipeline.scaler
+        self.fitted = True
+        return self
+
+    def predict(
+        self,
+        histories: np.ndarray,
+        num_samples: Optional[int] = None,
+        single_pass: bool = False,
+    ) -> PredictionResult:
+        self._check_fitted()
+        if single_pass:
+            return self.pipeline.predict_single_pass(np.asarray(histories, dtype=np.float64))
+        return self.pipeline.predict(np.asarray(histories, dtype=np.float64), num_samples=num_samples)
+
+    def predict_single_pass(self, histories: np.ndarray) -> PredictionResult:
+        """DeepSTUQ/S: single deterministic forward pass (Table III column)."""
+        return self.predict(histories, single_pass=True)

@@ -1,0 +1,44 @@
+"""Deterministic point forecaster (the "Point" row of Table IV).
+
+This is the plain AGCRN model trained with an L1 loss: the strongest point
+baseline, used as the reference against which the uncertainty-aware methods'
+point accuracy is compared.  It produces no uncertainty estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.inference import PredictionResult, deterministic_forecast
+from repro.core.losses import point_l1_loss
+from repro.core.trainer import Trainer
+from repro.data.datasets import TrafficData
+from repro.uq.base import UQMethod
+
+
+class PointForecaster(UQMethod):
+    """AGCRN with a single mean head and MAE loss; no uncertainty."""
+
+    name = "Point"
+    paradigm = "deterministic"
+    uncertainty_type = "no"
+    gaussian_likelihood = False
+
+    def fit(self, train_data: TrafficData, val_data: TrafficData) -> "PointForecaster":
+        self._fit_scaler(train_data)
+        self.model = self._build_backbone(heads=("mean",))
+        self.trainer = Trainer(
+            self.model,
+            self.config,
+            lambda output, target: point_l1_loss(output, target),
+            scaler=self.scaler,
+        )
+        self.trainer.fit(train_data)
+        self.fitted = True
+        return self
+
+    def predict(self, histories: np.ndarray) -> PredictionResult:
+        self._check_fitted()
+        return deterministic_forecast(self.model, self._scale_inputs(histories), self.scaler)

@@ -1,0 +1,83 @@
+"""Registry of the uncertainty-quantification methods (paper Table II).
+
+Maps method names to their paradigm / uncertainty-type taxonomy and to a
+factory building a ready-to-fit instance, so the benchmark harness and the
+Table II generator share a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.trainer import TrainingConfig
+from repro.uq.base import UQMethod
+from repro.uq.cfrnn import CFRNN
+from repro.uq.combined import Combined
+from repro.uq.conformal import LocallyWeightedConformal
+from repro.uq.deep_ensemble import DeepEnsemble
+from repro.uq.deepstuq import DeepSTUQ
+from repro.uq.fge import FGE
+from repro.uq.mc_dropout import MCDropout
+from repro.uq.mve import MVE
+from repro.uq.point import PointForecaster
+from repro.uq.quantile import QuantileRegression
+from repro.uq.temperature import TemperatureScaledMVE
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """A row of paper Table II."""
+
+    name: str
+    paradigm: str
+    uncertainty_type: str
+    factory: Callable[..., UQMethod]
+    in_paper_table: bool = True
+
+
+METHOD_INFO: Dict[str, MethodInfo] = {
+    "Point": MethodInfo("Point", "deterministic", "no", PointForecaster),
+    "Quantile": MethodInfo("Quantile", "distribution-free", "aleatoric", QuantileRegression),
+    "MVE": MethodInfo("MVE", "frequentist", "aleatoric", MVE),
+    "MCDO": MethodInfo("MCDO", "Bayesian", "epistemic", MCDropout),
+    "Combined": MethodInfo("Combined", "Bayesian", "aleatoric + epistemic", Combined),
+    "TS": MethodInfo("TS", "frequentist", "aleatoric", TemperatureScaledMVE),
+    "FGE": MethodInfo("FGE", "ensembling", "epistemic", FGE),
+    "Conformal": MethodInfo("Conformal", "frequentist", "aleatoric", LocallyWeightedConformal),
+    "CFRNN": MethodInfo("CFRNN", "distribution-free", "aleatoric", CFRNN),
+    "DeepSTUQ": MethodInfo("DeepSTUQ", "Bayesian + ensembling", "aleatoric + epistemic", DeepSTUQ),
+    # Extensions beyond the paper's table:
+    "DeepEnsemble": MethodInfo(
+        "DeepEnsemble", "ensembling", "aleatoric + epistemic", DeepEnsemble, in_paper_table=False
+    ),
+}
+
+
+def available_methods(paper_only: bool = False) -> List[str]:
+    """Names of all registered methods, in Table II / IV column order."""
+    names = list(METHOD_INFO)
+    if paper_only:
+        names = [name for name in names if METHOD_INFO[name].in_paper_table]
+    return names
+
+
+def method_info(name: str) -> MethodInfo:
+    """Lookup of a single method's taxonomy entry."""
+    if name not in METHOD_INFO:
+        raise KeyError(f"unknown UQ method {name!r}; available: {available_methods()}")
+    return METHOD_INFO[name]
+
+
+def create_method(
+    name: str,
+    num_nodes: int,
+    config: Optional[TrainingConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> UQMethod:
+    """Instantiate a registered method with a shared training configuration."""
+    info = method_info(name)
+    return info.factory(num_nodes, config=config, rng=rng, **kwargs)

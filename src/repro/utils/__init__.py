@@ -1,0 +1,7 @@
+"""Small shared utilities: seeding, checkpointing, table formatting."""
+
+from repro.utils.seed import seed_everything
+from repro.utils.serialization import load_model_weights, save_model_weights
+from repro.utils.tables import format_table
+
+__all__ = ["seed_everything", "save_model_weights", "load_model_weights", "format_table"]

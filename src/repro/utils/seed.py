@@ -1,0 +1,20 @@
+"""Global seeding helper.
+
+The library itself threads explicit ``numpy.random.Generator`` objects
+through every stochastic component (weight init, dropout masks, data
+shuffling, MC sampling), so :func:`seed_everything` exists mainly for user
+scripts and examples that also rely on the legacy global NumPy state.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python's and NumPy's global RNGs and return a fresh Generator."""
+    random.seed(seed)
+    np.random.seed(seed)
+    return np.random.default_rng(seed)

@@ -1,0 +1,31 @@
+"""Model checkpointing as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_model_weights(model: Module, path: Union[str, Path]) -> Path:
+    """Save a module's ``state_dict`` to ``path`` (``.npz`` is appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **model.state_dict())
+    return path
+
+
+def load_model_weights(model: Module, path: Union[str, Path]) -> Module:
+    """Load weights saved with :func:`save_model_weights` into ``model``."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint {path} does not exist")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

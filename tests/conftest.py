@@ -1,0 +1,10 @@
+"""Shared pytest fixtures for the DeepSTUQ reproduction test-suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by tests."""
+    return np.random.default_rng(seed=1234)

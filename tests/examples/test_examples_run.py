@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs end-to-end in --fast mode."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_examples_directory_contents(self):
+        scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart.py", "compare_uq_methods.py", "emergency_routing.py",
+                "custom_dataset.py"}.issubset(scripts)
+
+    def test_quickstart_fast(self):
+        result = _run("quickstart.py", "--fast", "--epochs", "2")
+        assert result.returncode == 0, result.stderr
+        assert "PICP" in result.stdout
+        assert "calibration temperature" in result.stdout
+
+    def test_compare_uq_methods_fast(self):
+        result = _run("compare_uq_methods.py", "--fast", "--methods", "Point", "MVE")
+        assert result.returncode == 0, result.stderr
+        assert "MVE" in result.stdout and "MPIW" in result.stdout
+
+    def test_emergency_routing_fast(self):
+        result = _run("emergency_routing.py", "--fast", "--num-sensors", "18")
+        assert result.returncode == 0, result.stderr
+        assert "Risk-aware" in result.stdout
+
+    def test_custom_dataset_fast(self):
+        result = _run("custom_dataset.py", "--fast", "--days", "3")
+        assert result.returncode == 0, result.stderr
+        assert "DeepSTUQ" in result.stdout

@@ -1,0 +1,275 @@
+"""Tests for graph convolutions, recurrent layers, temporal convolutions,
+attention and normalization layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+def _ring_adjacency(n):
+    adj = np.zeros((n, n))
+    for i in range(n):
+        adj[i, (i + 1) % n] = 1.0
+        adj[(i + 1) % n, i] = 1.0
+    return adj
+
+
+def _sym_norm(adj):
+    deg = adj.sum(axis=1)
+    d_inv_sqrt = np.diag(1.0 / np.sqrt(np.maximum(deg, 1e-12)))
+    return np.eye(len(adj)) + d_inv_sqrt @ adj @ d_inv_sqrt
+
+
+class TestGCNLayer:
+    def test_output_shape_batched(self):
+        support = _sym_norm(_ring_adjacency(6))
+        layer = nn.GCNLayer(3, 5, support)
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(4, 6, 3))))
+        assert out.shape == (4, 6, 5)
+
+    def test_output_shape_unbatched(self):
+        support = _sym_norm(_ring_adjacency(6))
+        layer = nn.GCNLayer(3, 5, support, activation=None)
+        assert layer(Tensor(np.ones((6, 3)))).shape == (6, 5)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            nn.GCNLayer(3, 5, np.eye(4), activation="gelu")
+
+    def test_identity_support_reduces_to_dense(self):
+        layer = nn.GCNLayer(3, 2, np.eye(5), activation=None, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 5, 3))
+        expected = x @ layer.weight.numpy() + layer.bias.numpy()
+        assert np.allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_gradcheck(self):
+        support = _sym_norm(_ring_adjacency(4))
+        layer = nn.GCNLayer(2, 3, support, activation="tanh", rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4, 2)), requires_grad=True)
+        assert gradcheck(lambda inp: layer(inp).sum(), [x])
+
+
+class TestChebAndDiffusion:
+    def test_cheb_conv_shape(self):
+        n = 5
+        supports = [np.eye(n), _sym_norm(_ring_adjacency(n))]
+        layer = nn.ChebConv(2, 4, supports)
+        assert layer(Tensor(np.ones((3, n, 2)))).shape == (3, n, 4)
+
+    def test_cheb_conv_requires_supports(self):
+        with pytest.raises(ValueError):
+            nn.ChebConv(2, 4, [])
+
+    def test_diffusion_conv_shape_and_matrix_count(self):
+        n = 6
+        adj = _ring_adjacency(n)
+        forward = adj / np.maximum(adj.sum(axis=1, keepdims=True), 1)
+        backward = adj.T / np.maximum(adj.T.sum(axis=1, keepdims=True), 1)
+        layer = nn.DiffusionConv(2, 4, [forward, backward], max_step=2)
+        assert layer.num_matrices == 5  # I + 2 powers per direction
+        assert layer(Tensor(np.ones((3, n, 2)))).shape == (3, n, 4)
+
+    def test_diffusion_invalid_max_step(self):
+        with pytest.raises(ValueError):
+            nn.DiffusionConv(2, 4, [np.eye(3)], max_step=0)
+
+
+class TestAdaptiveGraph:
+    def test_adaptive_adjacency_rows_sum_to_one(self):
+        adj_module = nn.AdaptiveAdjacency(num_nodes=7, embed_dim=3, rng=np.random.default_rng(0))
+        adjacency = adj_module().numpy()
+        assert adjacency.shape == (7, 7)
+        assert np.allclose(adjacency.sum(axis=1), 1.0)
+        assert np.all(adjacency >= 0.0)
+
+    def test_adaptive_adjacency_invalid_args(self):
+        with pytest.raises(ValueError):
+            nn.AdaptiveAdjacency(0, 3)
+
+    def test_avwgcn_shape(self):
+        rng = np.random.default_rng(0)
+        adj_module = nn.AdaptiveAdjacency(6, 4, rng=rng)
+        layer = nn.AVWGCN(in_features=3, out_features=8, embed_dim=4, cheb_k=2, rng=rng)
+        x = Tensor(rng.normal(size=(5, 6, 3)))
+        out = layer(x, adj_module(), adj_module.embeddings)
+        assert out.shape == (5, 6, 8)
+
+    def test_avwgcn_cheb_k_three(self):
+        rng = np.random.default_rng(0)
+        adj_module = nn.AdaptiveAdjacency(4, 3, rng=rng)
+        layer = nn.AVWGCN(2, 2, embed_dim=3, cheb_k=3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 4, 2))), adj_module(), adj_module.embeddings)
+        assert out.shape == (2, 4, 2)
+
+    def test_avwgcn_invalid_cheb_k(self):
+        with pytest.raises(ValueError):
+            nn.AVWGCN(2, 2, embed_dim=3, cheb_k=0)
+
+    def test_avwgcn_gradients_reach_embeddings(self):
+        rng = np.random.default_rng(0)
+        adj_module = nn.AdaptiveAdjacency(5, 3, rng=rng)
+        layer = nn.AVWGCN(2, 2, embed_dim=3, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 2)))
+        out = layer(x, adj_module(), adj_module.embeddings)
+        out.sum().backward()
+        assert adj_module.embeddings.grad is not None
+        assert layer.weight_pool.grad is not None
+
+    def test_avwgcn_gradcheck(self):
+        rng = np.random.default_rng(3)
+        adj_module = nn.AdaptiveAdjacency(4, 2, rng=rng)
+        layer = nn.AVWGCN(2, 2, embed_dim=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 2)), requires_grad=True)
+        assert gradcheck(
+            lambda inp: layer(inp, adj_module(), adj_module.embeddings).sum(), [x]
+        )
+
+
+class TestRecurrent:
+    def test_gru_cell_shapes(self):
+        cell = nn.GRUCell(3, 6)
+        h = cell.init_hidden(4)
+        out = cell(Tensor(np.ones((4, 3))), h)
+        assert out.shape == (4, 6)
+
+    def test_gru_sequence(self):
+        gru = nn.GRU(3, 6)
+        outputs, final = gru(Tensor(np.random.default_rng(0).normal(size=(2, 7, 3))))
+        assert outputs.shape == (2, 7, 6)
+        assert final.shape == (2, 6)
+        assert np.allclose(outputs.numpy()[:, -1, :], final.numpy())
+
+    def test_gru_rejects_2d_input(self):
+        gru = nn.GRU(3, 6)
+        with pytest.raises(ValueError):
+            gru(Tensor(np.ones((2, 3))))
+
+    def test_gru_hidden_stays_bounded(self):
+        gru = nn.GRU(2, 4)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 50, 2)) * 10)
+        outputs, _ = gru(x)
+        assert np.all(np.abs(outputs.numpy()) <= 1.0 + 1e-9)
+
+    def test_gru_gradients_flow(self):
+        gru = nn.GRU(2, 3, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4, 2)))
+        _, final = gru(x)
+        final.sum().backward()
+        assert all(p.grad is not None for p in gru.parameters())
+
+
+class TestTemporalConv:
+    def test_causal_conv_preserves_length(self):
+        conv = nn.CausalConv1d(2, 5, kernel_size=3, dilation=2)
+        out = conv(Tensor(np.ones((2, 12, 4, 2))))
+        assert out.shape == (2, 12, 4, 5)
+
+    def test_valid_conv_shortens(self):
+        conv = nn.CausalConv1d(2, 5, kernel_size=3, causal=False)
+        out = conv(Tensor(np.ones((2, 12, 4, 2))))
+        assert out.shape == (2, 10, 4, 5)
+
+    def test_receptive_field(self):
+        conv = nn.CausalConv1d(1, 1, kernel_size=2, dilation=4)
+        assert conv.receptive_field == 5
+
+    def test_too_short_input_raises(self):
+        conv = nn.CausalConv1d(1, 1, kernel_size=5, causal=False)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.ones((1, 3, 2, 1))))
+
+    def test_rejects_3d_input(self):
+        conv = nn.CausalConv1d(1, 1, kernel_size=2)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.ones((1, 3, 1))))
+
+    def test_causality(self):
+        """Changing a future input must not affect past outputs."""
+        rng = np.random.default_rng(0)
+        conv = nn.CausalConv1d(1, 1, kernel_size=3, rng=rng)
+        x = rng.normal(size=(1, 10, 1, 1))
+        out_a = conv(Tensor(x)).numpy()
+        x_mod = x.copy()
+        x_mod[0, 7, 0, 0] += 100.0
+        out_b = conv(Tensor(x_mod)).numpy()
+        assert np.allclose(out_a[0, :7], out_b[0, :7])
+        assert not np.allclose(out_a[0, 7:], out_b[0, 7:])
+
+    def test_matches_manual_convolution(self):
+        conv = nn.CausalConv1d(1, 1, kernel_size=2, causal=False, rng=np.random.default_rng(0))
+        x = np.arange(5.0).reshape(1, 5, 1, 1)
+        out = conv(Tensor(x)).numpy()[0, :, 0, 0]
+        w0 = conv.weight.numpy()[0, 0, 0]
+        w1 = conv.weight.numpy()[1, 0, 0]
+        b = conv.bias.numpy()[0]
+        expected = np.array([x[0, t, 0, 0] * w0 + x[0, t + 1, 0, 0] * w1 + b for t in range(4)])
+        assert np.allclose(out, expected)
+
+    def test_gated_conv_output_bounded(self):
+        gated = nn.GatedTemporalConv(2, 3, kernel_size=2)
+        out = gated(Tensor(np.random.default_rng(0).normal(size=(2, 8, 3, 2)) * 10)).numpy()
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            nn.CausalConv1d(1, 1, kernel_size=0)
+
+
+class TestAttention:
+    def test_spatial_attention_shape_and_rows(self):
+        att = nn.SpatialAttention(num_steps=6, channels=3)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 6, 5, 3)))
+        scores = att(x).numpy()
+        assert scores.shape == (2, 5, 5)
+        assert np.allclose(scores.sum(axis=-1), 1.0)
+
+    def test_temporal_attention_shape_and_rows(self):
+        att = nn.TemporalAttention(num_nodes=5, channels=3)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 6, 5, 3)))
+        scores = att(x).numpy()
+        assert scores.shape == (2, 6, 6)
+        assert np.allclose(scores.sum(axis=-1), 1.0)
+
+
+class TestNormalization:
+    def test_batchnorm_training_normalizes(self):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(200, 4)))
+        out = bn(x).numpy()
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_running_stats_used_in_eval(self):
+        bn = nn.BatchNorm1d(2, momentum=1.0)
+        x = Tensor(np.random.default_rng(0).normal(loc=3.0, size=(500, 2)))
+        bn(x)
+        bn.eval()
+        out = bn(Tensor(np.full((10, 2), 3.0))).numpy()
+        assert np.allclose(out, 0.0, atol=0.2)
+
+    def test_batchnorm_reset_running_stats(self):
+        bn = nn.BatchNorm1d(2)
+        bn(Tensor(np.random.default_rng(0).normal(size=(50, 2))))
+        bn.reset_running_stats()
+        assert np.allclose(bn.running_mean, 0.0)
+        assert bn.num_batches_tracked == 0
+
+    def test_batchnorm_feature_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(np.ones((5, 4))))
+
+    def test_batchnorm_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3, momentum=0.0)
+
+    def test_layernorm_normalizes_last_axis(self):
+        ln = nn.LayerNorm(6)
+        x = Tensor(np.random.default_rng(0).normal(loc=2.0, scale=4.0, size=(3, 5, 6)))
+        out = ln(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_layernorm_feature_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(3)(Tensor(np.ones((2, 4))))

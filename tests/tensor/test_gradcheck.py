@@ -1,0 +1,144 @@
+"""Finite-difference gradient checks and hypothesis property tests for autodiff."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, gradcheck
+from repro.tensor import functional as F
+
+
+def _rand(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestGradcheckOps:
+    def test_add_mul(self):
+        a, b = _rand((3, 4), 0), _rand((3, 4), 1)
+        assert gradcheck(lambda x, y: (x * y + x).sum(), [a, b])
+
+    def test_div(self):
+        a = _rand((3,), 0)
+        b = Tensor(np.abs(np.random.default_rng(1).normal(size=3)) + 1.0, requires_grad=True)
+        assert gradcheck(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_matmul(self):
+        a, b = _rand((3, 4), 0), _rand((4, 2), 1)
+        assert gradcheck(lambda x, y: x.matmul(y).sum(), [a, b])
+
+    def test_batched_matmul(self):
+        a, b = _rand((2, 3, 4), 0), _rand((2, 4, 2), 1)
+        assert gradcheck(lambda x, y: x.matmul(y).sum(), [a, b])
+
+    def test_exp_log(self):
+        a = Tensor(np.abs(np.random.default_rng(0).normal(size=(3,))) + 0.5, requires_grad=True)
+        assert gradcheck(lambda x: (x.log() + x.exp()).sum(), [a])
+
+    def test_tanh_sigmoid(self):
+        a = _rand((5,), 0)
+        assert gradcheck(lambda x: (x.tanh() * x.sigmoid()).sum(), [a])
+
+    def test_softplus(self):
+        a = _rand((6,), 3)
+        assert gradcheck(lambda x: x.softplus().sum(), [a])
+
+    def test_mean_var(self):
+        a = _rand((4, 3), 2)
+        assert gradcheck(lambda x: (x.mean(axis=0) + x.var(axis=0)).sum(), [a])
+
+    def test_softmax(self):
+        a = _rand((3, 5), 1)
+        weights = Tensor(np.random.default_rng(9).normal(size=(3, 5)))
+        assert gradcheck(lambda x: (F.softmax(x, axis=-1) * weights).sum(), [a])
+
+    def test_transpose_reshape_chain(self):
+        a = _rand((2, 3, 4), 5)
+        assert gradcheck(lambda x: x.transpose(2, 0, 1).reshape(4, 6).sum(axis=0).sum(), [a])
+
+    def test_cat(self):
+        a, b = _rand((2, 3), 0), _rand((2, 2), 1)
+        assert gradcheck(lambda x, y: F.cat([x, y], axis=1).sum(), [a, b])
+
+    def test_stack(self):
+        a, b = _rand((3,), 0), _rand((3,), 1)
+        assert gradcheck(lambda x, y: (F.stack([x, y], axis=0) ** 2).sum(), [a, b])
+
+    def test_getitem(self):
+        a = _rand((5, 4), 7)
+        assert gradcheck(lambda x: x[1:4, ::2].sum(), [a])
+
+    def test_gaussian_nll(self):
+        mean = _rand((6,), 0)
+        log_var = _rand((6,), 1)
+        target = Tensor(np.random.default_rng(2).normal(size=6))
+        assert gradcheck(lambda m, lv: F.gaussian_nll(m, lv, target), [mean, log_var])
+
+    def test_pinball(self):
+        pred = _rand((6,), 0)
+        target = Tensor(np.random.default_rng(3).normal(size=6))
+        assert gradcheck(lambda p: F.pinball_loss(p, target, 0.975), [pred], atol=1e-3)
+
+    def test_gradcheck_requires_scalar(self):
+        a = _rand((3,), 0)
+        with pytest.raises(ValueError):
+            gradcheck(lambda x: x * 2.0, [a])
+
+    def test_gradcheck_requires_grad_inputs(self):
+        a = Tensor([1.0])
+        with pytest.raises(ValueError):
+            gradcheck(lambda x: x.sum(), [a])
+
+
+@st.composite
+def small_arrays(draw, max_side=4):
+    shape = draw(hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=max_side))
+    return draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False),
+        )
+    )
+
+
+class TestAutodiffProperties:
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, np.ones_like(data))
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_linear_gradient_is_coefficient(self, data):
+        x = Tensor(data, requires_grad=True)
+        (3.5 * x).sum().backward()
+        assert np.allclose(x.grad, 3.5 * np.ones_like(data))
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_square_gradient(self, data):
+        x = Tensor(data, requires_grad=True)
+        (x * x).sum().backward()
+        assert np.allclose(x.grad, 2.0 * data, atol=1e-8)
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_forward_matches_numpy(self, data):
+        x = Tensor(data)
+        assert np.allclose((x.tanh() + x.sigmoid()).numpy(), np.tanh(data) + 1.0 / (1.0 + np.exp(-data)))
+
+    @given(small_arrays(), st.integers(min_value=0, max_value=2))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_normalizes_any_axis(self, data, axis_seed):
+        axis = axis_seed % data.ndim
+        out = F.softmax(Tensor(data), axis=axis).numpy()
+        assert np.allclose(out.sum(axis=axis), 1.0)
+
+    @given(small_arrays())
+    @settings(max_examples=20, deadline=None)
+    def test_reshape_preserves_sum(self, data):
+        x = Tensor(data)
+        assert np.allclose(x.reshape(-1).sum().item(), data.sum())

@@ -1,0 +1,59 @@
+"""Tests for the utility helpers (seeding, checkpointing, table formatting)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.utils import format_table, load_model_weights, save_model_weights, seed_everything
+
+
+class TestSeed:
+    def test_seed_everything_reproducible(self):
+        rng_a = seed_everything(123)
+        rng_b = seed_everything(123)
+        assert rng_a.standard_normal(5) == pytest.approx(rng_b.standard_normal(5))
+        assert np.random.rand() == pytest.approx(
+            (seed_everything(123), np.random.rand())[1]
+        )
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        model = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        other = nn.Linear(4, 3, rng=np.random.default_rng(1))
+        path = save_model_weights(model, tmp_path / "checkpoint")
+        assert path.suffix == ".npz"
+        load_model_weights(other, path)
+        assert np.allclose(model.weight.numpy(), other.weight.numpy())
+        assert np.allclose(model.bias.numpy(), other.bias.numpy())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model_weights(nn.Linear(2, 2), tmp_path / "nope.npz")
+
+    def test_creates_parent_directories(self, tmp_path):
+        model = nn.Linear(2, 2)
+        path = save_model_weights(model, tmp_path / "deep" / "nested" / "model.npz")
+        assert path.exists()
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2.3456], ["x", 7]], precision=2, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.35" in text
+        assert "x" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-method-name", 1.0], ["s", 22.0]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
