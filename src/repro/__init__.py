@@ -15,6 +15,8 @@ A Unified Approach" (ICDE 2023).  It contains:
   re-training, temperature calibration, Monte-Carlo inference.
 * ``repro.metrics`` / ``repro.evaluation`` — metrics and the experiment
   harness regenerating every table and figure of the paper.
+* ``repro.serving`` — request micro-batching, LRU prediction caching and a
+  threaded inference server over the vectorized Monte-Carlo engine.
 """
 
 __version__ = "1.0.0"
@@ -30,5 +32,6 @@ __all__ = [
     "core",
     "metrics",
     "evaluation",
+    "serving",
     "utils",
 ]

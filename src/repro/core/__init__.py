@@ -25,8 +25,10 @@ from repro.core.trainer import Trainer, TrainingConfig
 from repro.core.awa import AWAConfig, AWATrainer
 from repro.core.calibration import TemperatureCalibrator
 from repro.core.inference import (
+    BatchedPredictor,
     PredictionResult,
     deterministic_forecast,
+    ensemble_forecast,
     monte_carlo_forecast,
 )
 from repro.core.pipeline import DeepSTUQConfig, DeepSTUQPipeline
@@ -41,8 +43,10 @@ __all__ = [
     "AWAConfig",
     "AWATrainer",
     "TemperatureCalibrator",
+    "BatchedPredictor",
     "PredictionResult",
     "deterministic_forecast",
+    "ensemble_forecast",
     "monte_carlo_forecast",
     "DeepSTUQConfig",
     "DeepSTUQPipeline",

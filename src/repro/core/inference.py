@@ -9,6 +9,13 @@ the AWA-averaged weights) and combines them into
 * an **epistemic** variance — the sample variance of the sampled means
   (second term of Eq. 19b).
 
+The sampling axis is *embarrassingly parallel*: no operation in a forward
+pass mixes rows of the batch, so all ``N_MC`` stochastic passes can be
+evaluated in a single vectorized forward by folding the sample axis into the
+batch dimension (see :class:`BatchedPredictor`).  A looped reference path is
+retained and is bit-equal to the vectorized one for the same seed, which the
+equivalence tests in ``tests/uq`` assert for every registered UQ method.
+
 The helpers below operate on *scaled* model inputs and return a
 :class:`PredictionResult` in the original data scale.
 """
@@ -16,13 +23,14 @@ The helpers below operate on *scaled* model inputs and return a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.scalers import StandardScaler
 from repro.metrics.uncertainty import interval_bounds
 from repro.models.base import ForecastModel
+from repro.nn.dropout import reseed_dropout, sample_fold, set_mc_dropout
 from repro.tensor import Tensor, no_grad
 
 
@@ -54,6 +62,39 @@ class PredictionResult:
     def epistemic_std(self) -> np.ndarray:
         return np.sqrt(np.maximum(self.epistemic_var, 0.0))
 
+    @property
+    def num_windows(self) -> int:
+        return int(self.mean.shape[0])
+
+    def __getitem__(self, index) -> "PredictionResult":
+        """Slice along the window axis (ints are kept as length-1 batches)."""
+        if isinstance(index, (int, np.integer)):
+            index = slice(index, index + 1) if index != -1 else slice(-1, None)
+        return PredictionResult(
+            mean=self.mean[index],
+            aleatoric_var=self.aleatoric_var[index],
+            epistemic_var=self.epistemic_var[index],
+        )
+
+    def copy(self) -> "PredictionResult":
+        """Deep copy (own arrays, not views into a larger batch result)."""
+        return PredictionResult(
+            mean=self.mean.copy(),
+            aleatoric_var=self.aleatoric_var.copy(),
+            epistemic_var=self.epistemic_var.copy(),
+        )
+
+    @staticmethod
+    def concatenate(results: Sequence["PredictionResult"]) -> "PredictionResult":
+        """Stitch per-window results back into one batch (serving layer)."""
+        if not results:
+            raise ValueError("cannot concatenate an empty sequence of results")
+        return PredictionResult(
+            mean=np.concatenate([r.mean for r in results], axis=0),
+            aleatoric_var=np.concatenate([r.aleatoric_var for r in results], axis=0),
+            epistemic_var=np.concatenate([r.epistemic_var for r in results], axis=0),
+        )
+
     def interval(self, significance: float = 0.05) -> tuple:
         """Central Gaussian prediction interval at level ``1 - significance``."""
         return interval_bounds(self.mean, self.std, significance)
@@ -68,16 +109,185 @@ class PredictionResult:
         )
 
 
+def _sample_streams(rng: np.random.Generator, num_samples: int) -> List[np.random.Generator]:
+    """One independent child generator per MC sample, derived from ``rng``.
+
+    Both the looped and the folded path hand sample ``s`` the same generator
+    ``streams[s]``, so the two paths consume identical mask randomness.
+    """
+    seeds = rng.integers(0, np.iinfo(np.int64).max, size=num_samples)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def _chunks(total: int, batch_size: int):
+    for start in range(0, total, batch_size):
+        yield start, min(start + batch_size, total)
+
+
 def _batched_forward(model: ForecastModel, inputs: np.ndarray, batch_size: int) -> Dict[str, np.ndarray]:
     """Run the model over ``inputs`` in mini-batches; returns stacked head outputs."""
     chunks: Dict[str, list] = {}
-    for start in range(0, inputs.shape[0], batch_size):
-        batch = Tensor(inputs[start : start + batch_size])
+    for start, stop in _chunks(inputs.shape[0], batch_size):
+        batch = Tensor(inputs[start:stop])
         output = model(batch)
         output = output if isinstance(output, dict) else {"mean": output}
         for name, tensor in output.items():
             chunks.setdefault(name, []).append(tensor.numpy())
     return {name: np.concatenate(parts, axis=0) for name, parts in chunks.items()}
+
+
+class BatchedPredictor:
+    """Vectorized Monte-Carlo inference engine over a fitted forecast model.
+
+    The engine folds the MC sample axis into the batch dimension: an input
+    chunk of ``b`` windows is tiled to ``(n_mc * b, history, nodes)`` — the
+    first ``b`` rows are sample 0, the next ``b`` rows sample 1, and so on —
+    and pushed through the model in **one** forward pass.  This is valid
+    because no forward operation mixes batch rows, and it is exact (not just
+    statistically equivalent) because every dropout layer draws sample ``s``'s
+    mask slab from a dedicated per-sample random stream: the folded pass
+    consumes exactly the random numbers the ``s``-th iteration of a
+    sequential loop would consume.  Head outputs are un-folded to
+    ``(n_mc, b, horizon, nodes)`` and the Eq. 19 mean/variance decomposition
+    collapses the sample axis with single NumPy reductions.
+
+    The win is Python-overhead amortization: the recurrent encoder costs
+    ``history * num_layers`` graph-convolution dispatches per forward, so a
+    looped MC estimate pays that interpreter cost ``n_mc`` times while the
+    folded pass pays it once on arrays ``n_mc`` times taller.
+
+    Parameters
+    ----------
+    model:
+        A fitted model; dropout layers are toggled to MC mode per call and
+        restored afterwards.
+    scaler:
+        Maps scaled-space outputs back to the original data scale.
+    temperature:
+        Calibration temperature applied as ``sigma^2 / T^2`` (Eqs. 17-18).
+    batch_size:
+        Input windows per chunk.  The folded forward evaluates
+        ``num_samples * batch_size`` rows at once, so memory grows linearly
+        with the MC sample count.
+    """
+
+    def __init__(
+        self,
+        model: ForecastModel,
+        scaler: StandardScaler,
+        temperature: float = 1.0,
+        batch_size: int = 256,
+    ) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.model = model
+        self.scaler = scaler
+        self.temperature = float(temperature)
+        self.batch_size = int(batch_size)
+
+    # ------------------------------------------------------------------ #
+    def deterministic(self, scaled_inputs: np.ndarray) -> PredictionResult:
+        """Single deterministic forward pass (dropout off)."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                outputs = _batched_forward(self.model, scaled_inputs, self.batch_size)
+        finally:
+            if was_training:
+                self.model.train()
+        mean = self.scaler.inverse_transform(outputs["mean"])
+        if "log_var" in outputs:
+            aleatoric = self.scaler.inverse_transform_var(
+                np.exp(outputs["log_var"]) / (self.temperature ** 2)
+            )
+        else:
+            aleatoric = np.zeros_like(mean)
+        return PredictionResult(mean=mean, aleatoric_var=aleatoric, epistemic_var=np.zeros_like(mean))
+
+    # ------------------------------------------------------------------ #
+    def monte_carlo(
+        self,
+        scaled_inputs: np.ndarray,
+        num_samples: int,
+        rng: Optional[np.random.Generator] = None,
+        vectorized: bool = True,
+    ) -> PredictionResult:
+        """MC dropout forecast with uncertainty decomposition (Eq. 19).
+
+        ``vectorized=False`` selects the looped reference path; for the same
+        ``rng`` both paths return identical arrays.
+        """
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        streams = _sample_streams(rng, num_samples)
+
+        was_training = self.model.training
+        self.model.eval()
+        set_mc_dropout(self.model, True)
+        try:
+            with no_grad():
+                if vectorized:
+                    outputs = self._folded_forward(scaled_inputs, streams)
+                else:
+                    outputs = self._looped_forward(scaled_inputs, streams)
+        finally:
+            set_mc_dropout(self.model, False)
+            if was_training:
+                self.model.train()
+        return self._decompose(outputs, num_samples)
+
+    # ------------------------------------------------------------------ #
+    def _folded_forward(
+        self, scaled_inputs: np.ndarray, streams: List[np.random.Generator]
+    ) -> Dict[str, np.ndarray]:
+        """All samples of each chunk in one forward; returns (S, B, H, N) heads."""
+        num_samples = len(streams)
+        collected: Dict[str, list] = {}
+        with sample_fold(self.model, streams):
+            for start, stop in _chunks(scaled_inputs.shape[0], self.batch_size):
+                chunk = scaled_inputs[start:stop]
+                folded = np.concatenate([chunk] * num_samples, axis=0)
+                output = self.model(Tensor(folded))
+                output = output if isinstance(output, dict) else {"mean": output}
+                for name, tensor in output.items():
+                    data = tensor.numpy()
+                    collected.setdefault(name, []).append(
+                        data.reshape((num_samples, chunk.shape[0]) + data.shape[1:])
+                    )
+        return {name: np.concatenate(parts, axis=1) for name, parts in collected.items()}
+
+    def _looped_forward(
+        self, scaled_inputs: np.ndarray, streams: List[np.random.Generator]
+    ) -> Dict[str, np.ndarray]:
+        """Sequential reference: one full pass per sample; returns (S, B, H, N)."""
+        collected: Dict[str, list] = {}
+        for stream in streams:
+            reseed_dropout(self.model, stream)
+            outputs = _batched_forward(self.model, scaled_inputs, self.batch_size)
+            for name, data in outputs.items():
+                collected.setdefault(name, []).append(data)
+        return {name: np.stack(parts, axis=0) for name, parts in collected.items()}
+
+    # ------------------------------------------------------------------ #
+    def _decompose(self, outputs: Dict[str, np.ndarray], num_samples: int) -> PredictionResult:
+        """Fused Eq. 19 decomposition: single reductions over the sample axis."""
+        means = outputs["mean"]  # (S, B, H, N)
+        mean_scaled = means.mean(axis=0)
+        if num_samples > 1:
+            epistemic_scaled = means.var(axis=0, ddof=1)
+        else:
+            epistemic_scaled = np.zeros_like(mean_scaled)
+        if "log_var" in outputs:
+            aleatoric_scaled = np.exp(outputs["log_var"]).mean(axis=0) / (self.temperature ** 2)
+        else:
+            aleatoric_scaled = np.zeros_like(mean_scaled)
+        return PredictionResult(
+            mean=self.scaler.inverse_transform(mean_scaled),
+            aleatoric_var=self.scaler.inverse_transform_var(aleatoric_scaled),
+            epistemic_var=self.scaler.inverse_transform_var(epistemic_scaled),
+        )
 
 
 def deterministic_forecast(
@@ -91,20 +301,8 @@ def deterministic_forecast(
     The aleatoric variance comes from the ``log_var`` head when present,
     otherwise it is zero; the epistemic variance is zero by construction.
     """
-    was_training = model.training
-    model.eval()
-    try:
-        with no_grad():
-            outputs = _batched_forward(model, scaled_inputs, batch_size)
-    finally:
-        if was_training:
-            model.train()
-    mean = scaler.inverse_transform(outputs["mean"])
-    if "log_var" in outputs:
-        aleatoric = scaler.inverse_transform_var(np.exp(outputs["log_var"]))
-    else:
-        aleatoric = np.zeros_like(mean)
-    return PredictionResult(mean=mean, aleatoric_var=aleatoric, epistemic_var=np.zeros_like(mean))
+    predictor = BatchedPredictor(model, scaler, batch_size=batch_size)
+    return predictor.deterministic(scaled_inputs)
 
 
 def monte_carlo_forecast(
@@ -115,6 +313,7 @@ def monte_carlo_forecast(
     temperature: float = 1.0,
     batch_size: int = 256,
     rng: Optional[np.random.Generator] = None,
+    vectorized: bool = True,
 ) -> PredictionResult:
     """Monte-Carlo dropout forecast with uncertainty decomposition (Eq. 19).
 
@@ -122,9 +321,7 @@ def monte_carlo_forecast(
     ----------
     model:
         A model with dropout layers; MC mode is enabled for the duration of
-        the call (and restored afterwards).  Models exposing
-        ``set_mc_dropout`` / ``reseed_dropout`` (e.g. :class:`~repro.models.AGCRN`)
-        are toggled through that interface.
+        the call (and restored afterwards).
     num_samples:
         Number of stochastic forward passes ``N_MC`` (the paper uses 10).
     temperature:
@@ -132,49 +329,40 @@ def monte_carlo_forecast(
         ``sigma^2 / T^2``, which is the scaling implied by the calibration
         likelihood (Eqs. 17-18); Eq. 19b of the paper abbreviates it as a
         ``1/T`` factor.
+    vectorized:
+        ``True`` (default) evaluates all samples in one folded forward pass
+        per chunk; ``False`` runs the sequential per-sample loop.  Both paths
+        produce identical results for the same ``rng``.
     """
-    if num_samples < 1:
-        raise ValueError("num_samples must be >= 1")
-    if temperature <= 0:
-        raise ValueError("temperature must be positive")
-    rng = rng if rng is not None else np.random.default_rng()
+    predictor = BatchedPredictor(model, scaler, temperature=temperature, batch_size=batch_size)
+    return predictor.monte_carlo(scaled_inputs, num_samples, rng=rng, vectorized=vectorized)
 
-    toggle = getattr(model, "set_mc_dropout", None)
-    reseed = getattr(model, "reseed_dropout", None)
-    was_training = model.training
-    model.eval()
-    if toggle is not None:
-        toggle(True)
-    if reseed is not None:
-        reseed(rng)
-    try:
-        sampled_means = []
-        sampled_vars = []
-        with no_grad():
-            for _ in range(num_samples):
-                outputs = _batched_forward(model, scaled_inputs, batch_size)
-                sampled_means.append(outputs["mean"])
-                if "log_var" in outputs:
-                    sampled_vars.append(np.exp(outputs["log_var"]))
-    finally:
-        if toggle is not None:
-            toggle(False)
-        if was_training:
-            model.train()
 
-    means = np.stack(sampled_means, axis=0)  # (S, B, H, N)
-    mean_scaled = means.mean(axis=0)
-    if num_samples > 1:
-        epistemic_scaled = means.var(axis=0, ddof=1)
+def ensemble_forecast(
+    members: Sequence[ForecastModel],
+    scaled_inputs: np.ndarray,
+    scaler: StandardScaler,
+    batch_size: int = 256,
+) -> PredictionResult:
+    """Gaussian-mixture fusion of independently trained ensemble members.
+
+    Member forward passes stay separate (each member has its own weights) but
+    the mixture moments — mean of means, mean of variances, variance of means
+    — are fused into single reductions over the stacked member axis, the same
+    shape of computation :class:`BatchedPredictor` uses for MC samples.
+    """
+    if not members:
+        raise ValueError("ensemble_forecast requires at least one member")
+    means, variances = [], []
+    for model in members:
+        result = BatchedPredictor(model, scaler, batch_size=batch_size).deterministic(scaled_inputs)
+        means.append(result.mean)
+        variances.append(result.aleatoric_var)
+    stacked_means = np.stack(means, axis=0)  # (M, B, H, N)
+    mean = stacked_means.mean(axis=0)
+    aleatoric = np.stack(variances, axis=0).mean(axis=0)
+    if len(members) > 1:
+        epistemic = stacked_means.var(axis=0, ddof=1)
     else:
-        epistemic_scaled = np.zeros_like(mean_scaled)
-    if sampled_vars:
-        aleatoric_scaled = np.stack(sampled_vars, axis=0).mean(axis=0) / (temperature ** 2)
-    else:
-        aleatoric_scaled = np.zeros_like(mean_scaled)
-
-    return PredictionResult(
-        mean=scaler.inverse_transform(mean_scaled),
-        aleatoric_var=scaler.inverse_transform_var(aleatoric_scaled),
-        epistemic_var=scaler.inverse_transform_var(epistemic_scaled),
-    )
+        epistemic = np.zeros_like(mean)
+    return PredictionResult(mean=mean, aleatoric_var=aleatoric, epistemic_var=epistemic)

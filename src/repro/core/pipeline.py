@@ -156,6 +156,7 @@ class DeepSTUQPipeline:
         histories: np.ndarray,
         num_samples: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        vectorized: bool = True,
     ) -> PredictionResult:
         """Probabilistic forecast for raw (unscaled) history windows.
 
@@ -167,6 +168,9 @@ class DeepSTUQPipeline:
         num_samples:
             Number of MC dropout samples (defaults to the configured
             ``mc_samples``; 1 plus deterministic heads recovers DeepSTUQ/S).
+        vectorized:
+            Evaluate all MC samples in one folded forward pass (default) or
+            loop over them; the results are identical for the same seed.
         """
         if self.scaler is None:
             raise RuntimeError("the pipeline must be fitted before predicting")
@@ -179,6 +183,7 @@ class DeepSTUQPipeline:
             num_samples=samples,
             temperature=self.calibrator.temperature,
             rng=rng if rng is not None else np.random.default_rng(self.config.training.seed + 2),
+            vectorized=vectorized,
         )
 
     def predict_single_pass(self, histories: np.ndarray) -> PredictionResult:

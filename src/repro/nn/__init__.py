@@ -10,7 +10,13 @@ and normalization layers.
 from repro.nn.module import Module, Parameter
 from repro.nn.container import ModuleList, Sequential
 from repro.nn.linear import Linear
-from repro.nn.dropout import Dropout
+from repro.nn.dropout import (
+    Dropout,
+    reseed_dropout,
+    sample_fold,
+    set_mc_dropout,
+    set_sample_fold,
+)
 from repro.nn.conv import CausalConv1d, GatedTemporalConv
 from repro.nn.rnn import GRU, GRUCell
 from repro.nn.graph import (
@@ -31,6 +37,10 @@ __all__ = [
     "Sequential",
     "Linear",
     "Dropout",
+    "set_mc_dropout",
+    "set_sample_fold",
+    "sample_fold",
+    "reseed_dropout",
     "CausalConv1d",
     "GatedTemporalConv",
     "GRU",

@@ -14,7 +14,8 @@ layer in a module tree before/after Monte-Carlo sampling.
 
 from __future__ import annotations
 
-from typing import Optional
+import contextlib
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -41,10 +42,24 @@ class Dropout(Module):
         self.rate = float(rate)
         self.mc_active = False
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._fold_streams: Optional[Sequence[np.random.Generator]] = None
 
     def reseed(self, rng: np.random.Generator) -> None:
         """Replace the mask generator (used to make MC sampling reproducible)."""
         self._rng = rng
+
+    def set_fold(self, streams: Optional[Sequence[np.random.Generator]]) -> None:
+        """Enter (or leave, with ``None``) sample-folded mask mode.
+
+        In folded mode the leading axis of the input is interpreted as
+        ``num_samples`` stacked copies of a sub-batch (``n_mc * batch``
+        rows).  One mask per sample is drawn from that sample's dedicated
+        ``streams[s]`` generator, so the random stream consumed for sample
+        ``s`` is identical to what a sequential per-sample pass (reseeded
+        with the same generator) would consume — this is what makes the
+        vectorized Monte-Carlo path bit-equal to the looped one.
+        """
+        self._fold_streams = list(streams) if streams is not None else None
 
     @property
     def stochastic(self) -> bool:
@@ -54,11 +69,60 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.stochastic:
             return x
-        mask = dropout_mask(x.shape, self.rate, self._rng)
+        if self._fold_streams is not None:
+            num_samples = len(self._fold_streams)
+            if x.shape[0] % num_samples != 0:
+                raise ValueError(
+                    f"folded input of {x.shape[0]} rows is not divisible by "
+                    f"{num_samples} samples"
+                )
+            sub_batch = x.shape[0] // num_samples
+            sub_shape = (sub_batch,) + tuple(x.shape[1:])
+            mask = np.concatenate(
+                [dropout_mask(sub_shape, self.rate, stream) for stream in self._fold_streams],
+                axis=0,
+            )
+        else:
+            mask = dropout_mask(x.shape, self.rate, self._rng)
         return x * Tensor(mask)
 
     def __repr__(self) -> str:
         return f"Dropout(rate={self.rate}, mc_active={self.mc_active})"
+
+
+def set_sample_fold(
+    module: Module, streams: Optional[Sequence[np.random.Generator]]
+) -> int:
+    """Enter/leave sample-folded mask mode on every dropout layer of ``module``.
+
+    Returns the number of dropout layers affected.
+    """
+    count = 0
+    for child in module.modules():
+        if isinstance(child, Dropout):
+            child.set_fold(streams)
+            count += 1
+    return count
+
+
+def reseed_dropout(module: Module, rng: np.random.Generator) -> int:
+    """Point every dropout layer of ``module`` at the shared generator ``rng``."""
+    count = 0
+    for child in module.modules():
+        if isinstance(child, Dropout):
+            child.reseed(rng)
+            count += 1
+    return count
+
+
+@contextlib.contextmanager
+def sample_fold(module: Module, streams: Sequence[np.random.Generator]):
+    """Context manager wrapping :func:`set_sample_fold` with guaranteed cleanup."""
+    set_sample_fold(module, streams)
+    try:
+        yield module
+    finally:
+        set_sample_fold(module, None)
 
 
 def set_mc_dropout(module: Module, enabled: bool) -> int:

@@ -1,0 +1,32 @@
+"""Production-style serving layer over the batched inference engine.
+
+Three cooperating pieces:
+
+* :class:`~repro.serving.batching.MicroBatcher` — a size-or-deadline request
+  queue that groups single-window requests into micro-batches;
+* :class:`~repro.serving.cache.PredictionCache` — a thread-safe LRU keyed on
+  ``(model version, input hash, inference params)``;
+* :class:`~repro.serving.server.InferenceServer` — the thread-pool dispatcher
+  tying both to a batch predict function (usually a fitted
+  :class:`~repro.uq.base.UQMethod` backed by the vectorized
+  :class:`~repro.core.inference.BatchedPredictor`).
+
+Typical usage::
+
+    server = method.serve(max_batch_size=32, cache_size=4096)
+    with server:
+        results = server.predict_many(windows)   # list of PredictionResult
+"""
+
+from repro.serving.batching import InferenceRequest, MicroBatcher
+from repro.serving.cache import PredictionCache, prediction_cache_key
+from repro.serving.server import InferenceServer, serve_method
+
+__all__ = [
+    "InferenceRequest",
+    "MicroBatcher",
+    "PredictionCache",
+    "prediction_cache_key",
+    "InferenceServer",
+    "serve_method",
+]

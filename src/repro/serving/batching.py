@@ -1,0 +1,98 @@
+"""Request micro-batching queue.
+
+Single-window requests arriving from many clients are collected into
+micro-batches before hitting the model: the vectorized engine's cost per
+window drops sharply with batch size, so trading a small queueing delay
+(``max_wait_ms``) for larger forwards raises throughput substantially.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class InferenceRequest:
+    """A single history window awaiting prediction."""
+
+    window: np.ndarray  # (history, num_nodes)
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class _Shutdown:
+    """Sentinel closing the queue."""
+
+
+class MicroBatcher:
+    """Blocking queue that groups incoming requests into micro-batches.
+
+    ``next_batch`` blocks until at least one request is available, then keeps
+    draining the queue until either ``max_batch_size`` requests are collected
+    or ``max_wait_ms`` has elapsed since the first one — the classic
+    size-or-deadline micro-batching policy of production model servers.
+    """
+
+    def __init__(self, max_batch_size: int = 64, max_wait_ms: float = 2.0) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = threading.Event()
+
+    def submit(self, window: np.ndarray) -> Future:
+        """Enqueue one window; returns a future resolved by the dispatcher."""
+        if self._closed.is_set():
+            raise RuntimeError("batcher is closed")
+        request = InferenceRequest(window=np.asarray(window, dtype=np.float64))
+        self._queue.put(request)
+        return request.future
+
+    def close(self) -> None:
+        """Wake up the dispatcher and refuse further submissions."""
+        self._closed.set()
+        self._queue.put(_Shutdown())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def next_batch(self, poll_timeout: float = 0.1) -> Optional[List[InferenceRequest]]:
+        """Collect the next micro-batch; ``None`` after :meth:`close`.
+
+        ``poll_timeout`` bounds how long the call blocks waiting for the
+        *first* request; once one arrives the batch closes after at most
+        ``max_wait_ms`` more milliseconds.
+        """
+        try:
+            first = self._queue.get(timeout=poll_timeout)
+        except queue.Empty:
+            return [] if not self._closed.is_set() else None
+        if isinstance(first, _Shutdown):
+            return None
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if isinstance(item, _Shutdown):
+                # Preserve the shutdown signal for the next next_batch() call.
+                self._queue.put(item)
+                break
+            batch.append(item)
+        return batch

@@ -1,0 +1,96 @@
+"""Thread-safe LRU cache for prediction results.
+
+Traffic-forecast serving sees heavy key re-use: the same sensor windows are
+requested by many concurrent clients (dashboards, routing queries) within a
+forecast refresh period.  Caching a :class:`~repro.core.inference.PredictionResult`
+per *(model version, input window, inference parameters)* key turns those
+duplicates into O(1) lookups instead of repeated MC sampling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+def prediction_cache_key(window: np.ndarray, model_version: str, **params: Any) -> str:
+    """Deterministic cache key over input bytes, model version and parameters.
+
+    The hash covers the array's dtype, shape and raw bytes, so two windows
+    that are numerically equal but shaped differently never collide, and any
+    change to the model version or to inference parameters (``num_samples``,
+    ``temperature``, ...) invalidates the entry.
+    """
+    window = np.ascontiguousarray(window, dtype=np.float64)
+    digest = hashlib.sha256()
+    digest.update(model_version.encode("utf-8"))
+    digest.update(repr(sorted(params.items())).encode("utf-8"))
+    digest.update(str(window.dtype).encode("utf-8"))
+    digest.update(repr(window.shape).encode("utf-8"))
+    digest.update(window.tobytes())
+    return digest.hexdigest()
+
+
+class PredictionCache:
+    """Bounded LRU mapping cache keys to prediction results.
+
+    All operations are guarded by a lock so the cache can be shared between
+    the dispatcher thread and callers inspecting :attr:`stats`.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            if key not in self._entries:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

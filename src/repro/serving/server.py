@@ -1,0 +1,217 @@
+"""Threaded inference server: micro-batching + LRU caching + worker pool.
+
+:class:`InferenceServer` turns any batch prediction function — typically the
+``predict`` method of a fitted :class:`~repro.uq.base.UQMethod`, backed by the
+vectorized :class:`~repro.core.inference.BatchedPredictor` — into a concurrent
+serving endpoint:
+
+1. single-window requests are queued and grouped by a :class:`MicroBatcher`;
+2. windows whose key is already cached are answered without touching the
+   model; duplicate windows *within* a batch run the model only once;
+3. the remaining unique windows are stacked into one array and pushed through
+   the model on a thread pool (NumPy releases the GIL inside the heavy ops,
+   so pool workers overlap usefully);
+4. per-window results are sliced out, cached, and delivered via futures.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.inference import PredictionResult
+from repro.serving.batching import InferenceRequest, MicroBatcher
+from repro.serving.cache import PredictionCache, prediction_cache_key
+
+PredictFn = Callable[[np.ndarray], PredictionResult]
+
+
+class InferenceServer:
+    """Concurrent prediction service over a batch ``predict_fn``.
+
+    Parameters
+    ----------
+    predict_fn:
+        Maps a stacked window array ``(batch, history, num_nodes)`` to a
+        :class:`PredictionResult` with matching leading dimension.
+    model_version:
+        Namespaces cache keys; bump it whenever the underlying weights or
+        inference parameters change so stale entries can never be served.
+    max_batch_size, max_wait_ms:
+        Micro-batching policy (see :class:`MicroBatcher`).
+    cache_size:
+        LRU capacity in windows; ``0`` disables caching.
+    num_workers:
+        Thread-pool width for batch post-processing (hashing, cache fills,
+        future resolution).  Model forward passes themselves are serialized
+        behind a lock regardless: the substrate's dropout/MC toggles and the
+        global grad-mode flag are process-wide state, so concurrent forwards
+        over a shared model would race on them.
+    """
+
+    def __init__(
+        self,
+        predict_fn: PredictFn,
+        model_version: str = "v0",
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 1024,
+        num_workers: int = 2,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.predict_fn = predict_fn
+        self.model_version = str(model_version)
+        self.batcher = MicroBatcher(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms)
+        self.cache: Optional[PredictionCache] = (
+            PredictionCache(capacity=cache_size) if cache_size > 0 else None
+        )
+        self._pool = ThreadPoolExecutor(max_workers=num_workers, thread_name_prefix="repro-infer")
+        self._dispatcher: Optional[threading.Thread] = None
+        self._running = False
+        self._lock = threading.Lock()
+        self._predict_lock = threading.Lock()
+        self._requests_served = 0
+        self._batches_dispatched = 0
+        self._model_windows = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceServer":
+        if self._running:
+            return self
+        self._running = True
+        self._dispatcher = threading.Thread(target=self._dispatch_loop, daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        # The lock orders stop() against submit(): any submit that saw
+        # _running=True has already enqueued its request, and the queue is
+        # FIFO, so that request precedes the shutdown sentinel and is drained.
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            self.batcher.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10.0)
+            self._dispatcher = None
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Client API
+    # ------------------------------------------------------------------ #
+    def submit(self, window: np.ndarray) -> Future:
+        """Queue one ``(history, num_nodes)`` window; returns a future."""
+        window = np.asarray(window, dtype=np.float64)
+        if window.ndim != 2:
+            raise ValueError(f"submit expects a single (history, num_nodes) window, got {window.shape}")
+        with self._lock:
+            if not self._running:
+                raise RuntimeError(
+                    "server is not running; call start() or use it as a context manager"
+                )
+            return self.batcher.submit(window)
+
+    def predict_many(
+        self, windows: Union[np.ndarray, Sequence[np.ndarray]], timeout: Optional[float] = 60.0
+    ) -> List[PredictionResult]:
+        """Submit many windows at once and block for their results (in order)."""
+        futures = [self.submit(window) for window in windows]
+        return [future.result(timeout=timeout) for future in futures]
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Serving counters plus cache statistics."""
+        with self._lock:
+            stats: Dict[str, float] = {
+                "requests_served": self._requests_served,
+                "batches_dispatched": self._batches_dispatched,
+                "model_windows": self._model_windows,
+                "mean_batch_size": (
+                    self._requests_served / self._batches_dispatched
+                    if self._batches_dispatched
+                    else 0.0
+                ),
+            }
+        if self.cache is not None:
+            for name, value in self.cache.stats.items():
+                stats[f"cache_{name}"] = value
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                break
+            if not batch:
+                continue
+            self._pool.submit(self._process_batch, batch)
+        # Drain whatever arrived between close() and the sentinel.
+        leftover = self.batcher.next_batch(poll_timeout=0.0)
+        while leftover:
+            self._pool.submit(self._process_batch, leftover)
+            leftover = self.batcher.next_batch(poll_timeout=0.0)
+
+    def _process_batch(self, batch: List[InferenceRequest]) -> None:
+        try:
+            keys = [
+                prediction_cache_key(request.window, self.model_version) for request in batch
+            ]
+            resolved: Dict[str, PredictionResult] = {}
+            if self.cache is not None:
+                for key in set(keys):
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        resolved[key] = hit
+            # Model pass over unique uncached windows only.
+            pending_keys: List[str] = []
+            pending_windows: List[np.ndarray] = []
+            for request, key in zip(batch, keys):
+                if key not in resolved and key not in pending_keys:
+                    pending_keys.append(key)
+                    pending_windows.append(request.window)
+            if pending_windows:
+                stacked = np.stack(pending_windows, axis=0)
+                with self._predict_lock:
+                    result = self.predict_fn(stacked)
+                for offset, key in enumerate(pending_keys):
+                    # copy(): a plain slice would be a view pinning the whole
+                    # batch result in memory for the lifetime of the entry.
+                    sliced = result[offset].copy()
+                    resolved[key] = sliced
+                    if self.cache is not None:
+                        self.cache.put(key, sliced)
+                with self._lock:
+                    self._model_windows += len(pending_windows)
+            for request, key in zip(batch, keys):
+                request.future.set_result(resolved[key])
+            with self._lock:
+                self._requests_served += len(batch)
+                self._batches_dispatched += 1
+        except Exception as error:  # pragma: no cover - defensive path
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(error)
+
+
+def serve_method(method, model_version: Optional[str] = None, **kwargs) -> InferenceServer:
+    """Build (but do not start) an :class:`InferenceServer` over a fitted UQ method."""
+    version = model_version if model_version is not None else f"{method.name}-{id(method):x}"
+    return InferenceServer(
+        lambda windows: method.predict(windows), model_version=version, **kwargs
+    )

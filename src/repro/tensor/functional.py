@@ -84,6 +84,14 @@ def abs(x: ArrayLike) -> Tensor:  # noqa: A001
     return _as_tensor(x).abs()
 
 
+def var(x: ArrayLike, axis=None, keepdims: bool = False, ddof: int = 0) -> Tensor:
+    return _as_tensor(x).var(axis=axis, keepdims=keepdims, ddof=ddof)
+
+
+def std(x: ArrayLike, axis=None, keepdims: bool = False, ddof: int = 0) -> Tensor:
+    return _as_tensor(x).std(axis=axis, keepdims=keepdims, ddof=ddof)
+
+
 # --------------------------------------------------------------------------- #
 # Compound / multi-input operations
 # --------------------------------------------------------------------------- #

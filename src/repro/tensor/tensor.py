@@ -394,16 +394,42 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
-        if axis is None:
-            count = self.data.size
-        else:
-            axes = axis if isinstance(axis, tuple) else (axis,)
-            count = int(np.prod([self.data.shape[a] for a in axes]))
-        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / self._axis_count(axis))
 
-    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def _axis_count(self, axis) -> int:
+        if axis is None:
+            return self.data.size
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        return int(np.prod([self.data.shape[a] for a in axes]))
+
+    def var(self, axis=None, keepdims: bool = False, ddof: int = 0) -> "Tensor":
+        """Variance along ``axis`` with ``count - ddof`` in the denominator.
+
+        When ``ddof`` leaves no degrees of freedom (e.g. the sample variance
+        of a single Monte-Carlo draw) the result is zero rather than NaN, so
+        downstream uncertainty decompositions stay finite.
+        """
+        count = self._axis_count(axis)
+        if count - ddof <= 0:
+            return (self * 0.0).sum(axis=axis, keepdims=keepdims)
         centered = self - self.mean(axis=axis, keepdims=True)
-        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return (centered * centered).sum(axis=axis, keepdims=keepdims) * (1.0 / (count - ddof))
+
+    def std(self, axis=None, keepdims: bool = False, ddof: int = 0) -> "Tensor":
+        """Standard deviation along ``axis``.
+
+        The square root is taken through a NaN-safe node: where the variance
+        is exactly zero (constant slices, or no degrees of freedom) both the
+        value and the gradient are zero instead of NaN / infinite.
+        """
+        variance = self.var(axis=axis, keepdims=keepdims, ddof=ddof)
+        out_data = np.sqrt(np.maximum(variance.data, 0.0))
+
+        def backward(grad: np.ndarray) -> None:
+            safe = np.where(out_data > 0.0, out_data, 1.0)
+            variance._accumulate(np.where(out_data > 0.0, grad * 0.5 / safe, 0.0))
+
+        return Tensor._make(out_data, (variance,), backward)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)

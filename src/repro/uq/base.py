@@ -93,5 +93,16 @@ class UQMethod:
         inputs, targets = self._windows(data)
         return self.predict(inputs), targets
 
+    def serve(self, model_version: Optional[str] = None, **kwargs):
+        """Build an (unstarted) :class:`~repro.serving.InferenceServer` over this method.
+
+        Keyword arguments are forwarded to the server constructor
+        (``max_batch_size``, ``max_wait_ms``, ``cache_size``, ``num_workers``).
+        """
+        self._check_fitted()
+        from repro.serving import serve_method
+
+        return serve_method(self, model_version=model_version, **kwargs)
+
     def __repr__(self) -> str:
         return f"{self.__class__.__name__}(paradigm={self.paradigm!r}, uncertainty={self.uncertainty_type!r})"

@@ -43,7 +43,10 @@ class Combined(UQMethod):
         return self
 
     def predict(
-        self, histories: np.ndarray, num_samples: Optional[int] = None
+        self,
+        histories: np.ndarray,
+        num_samples: Optional[int] = None,
+        vectorized: bool = True,
     ) -> PredictionResult:
         self._check_fitted()
         samples = num_samples if num_samples is not None else self.config.mc_samples
@@ -53,4 +56,5 @@ class Combined(UQMethod):
             self.scaler,
             num_samples=samples,
             rng=np.random.default_rng(self.config.seed + 11),
+            vectorized=vectorized,
         )

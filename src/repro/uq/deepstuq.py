@@ -62,11 +62,16 @@ class DeepSTUQ(UQMethod):
         histories: np.ndarray,
         num_samples: Optional[int] = None,
         single_pass: bool = False,
+        vectorized: bool = True,
     ) -> PredictionResult:
         self._check_fitted()
         if single_pass:
             return self.pipeline.predict_single_pass(np.asarray(histories, dtype=np.float64))
-        return self.pipeline.predict(np.asarray(histories, dtype=np.float64), num_samples=num_samples)
+        return self.pipeline.predict(
+            np.asarray(histories, dtype=np.float64),
+            num_samples=num_samples,
+            vectorized=vectorized,
+        )
 
     def predict_single_pass(self, histories: np.ndarray) -> PredictionResult:
         """DeepSTUQ/S: single deterministic forward pass (Table III column)."""

@@ -42,7 +42,10 @@ class MCDropout(UQMethod):
         return self
 
     def predict(
-        self, histories: np.ndarray, num_samples: Optional[int] = None
+        self,
+        histories: np.ndarray,
+        num_samples: Optional[int] = None,
+        vectorized: bool = True,
     ) -> PredictionResult:
         self._check_fitted()
         samples = num_samples if num_samples is not None else self.config.mc_samples
@@ -52,4 +55,5 @@ class MCDropout(UQMethod):
             self.scaler,
             num_samples=samples,
             rng=np.random.default_rng(self.config.seed + 10),
+            vectorized=vectorized,
         )

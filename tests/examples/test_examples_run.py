@@ -24,7 +24,7 @@ class TestExamples:
     def test_examples_directory_contents(self):
         scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert {"quickstart.py", "compare_uq_methods.py", "emergency_routing.py",
-                "custom_dataset.py"}.issubset(scripts)
+                "custom_dataset.py", "serving_demo.py"}.issubset(scripts)
 
     def test_quickstart_fast(self):
         result = _run("quickstart.py", "--fast", "--epochs", "2")
@@ -41,6 +41,12 @@ class TestExamples:
         result = _run("emergency_routing.py", "--fast", "--num-sensors", "18")
         assert result.returncode == 0, result.stderr
         assert "Risk-aware" in result.stdout
+
+    def test_serving_demo_fast(self):
+        result = _run("serving_demo.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "Server statistics" in result.stdout
+        assert "speedup" in result.stdout
 
     def test_custom_dataset_fast(self):
         result = _run("custom_dataset.py", "--fast", "--days", "3")

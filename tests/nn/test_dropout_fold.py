@@ -1,0 +1,80 @@
+"""Sample-folded dropout: the mechanism behind vectorized MC inference."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.dropout import sample_fold, set_sample_fold
+from repro.tensor import Tensor
+
+
+def _streams(seed, n):
+    rng = np.random.default_rng(seed)
+    return [np.random.default_rng(int(s)) for s in rng.integers(0, 2**62, size=n)]
+
+
+class TestFoldedMasks:
+    def test_folded_equals_per_sample_sequential(self):
+        """The folded mask slab for sample s == the mask a sequential pass draws."""
+        num_samples, sub_batch = 3, 4
+        x = Tensor(np.ones((num_samples * sub_batch, 5)))
+
+        folded_layer = nn.Dropout(0.5)
+        folded_layer.set_fold(_streams(7, num_samples))
+        folded = folded_layer(x).numpy()
+
+        for s, stream in enumerate(_streams(7, num_samples)):
+            seq_layer = nn.Dropout(0.5, rng=stream)
+            seq = seq_layer(Tensor(np.ones((sub_batch, 5)))).numpy()
+            np.testing.assert_array_equal(folded[s * sub_batch : (s + 1) * sub_batch], seq)
+
+    def test_fold_requires_divisible_batch(self):
+        layer = nn.Dropout(0.5)
+        layer.set_fold(_streams(0, 3))
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((7, 2))))
+
+    def test_fold_cleared_restores_normal_mode(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(1))
+        layer.set_fold(_streams(0, 2))
+        layer.set_fold(None)
+        out = layer(Tensor(np.ones((5, 3))))  # any batch size again
+        assert out.shape == (5, 3)
+
+    def test_zero_rate_is_identity_even_when_folded(self):
+        layer = nn.Dropout(0.0)
+        layer.set_fold(_streams(0, 2))
+        x = Tensor(np.ones((4, 3)))
+        layer.eval()
+        assert layer(x) is x
+
+
+class TestModuleTreeHelpers:
+    def _model(self):
+        class TwoDropouts(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = nn.Dropout(0.3)
+                self.b = nn.Dropout(0.3)
+
+        return TwoDropouts()
+
+    def test_set_sample_fold_counts_layers(self):
+        model = self._model()
+        assert set_sample_fold(model, _streams(0, 2)) == 2
+        assert all(d._fold_streams is not None for d in (model.a, model.b))
+        assert set_sample_fold(model, None) == 2
+        assert all(d._fold_streams is None for d in (model.a, model.b))
+
+    def test_sample_fold_context_manager_cleans_up(self):
+        model = self._model()
+        with sample_fold(model, _streams(0, 2)):
+            assert model.a._fold_streams is not None
+        assert model.a._fold_streams is None
+
+    def test_sample_fold_cleans_up_on_error(self):
+        model = self._model()
+        with pytest.raises(RuntimeError):
+            with sample_fold(model, _streams(0, 2)):
+                raise RuntimeError("boom")
+        assert model.a._fold_streams is None

@@ -1,0 +1,71 @@
+"""Micro-batching queue: grouping, deadlines, shutdown."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import MicroBatcher
+
+
+def _window(value=0.0):
+    return np.full((3, 2), value)
+
+
+class TestMicroBatcher:
+    def test_collects_queued_requests_into_one_batch(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=20.0)
+        for i in range(5):
+            batcher.submit(_window(i))
+        batch = batcher.next_batch()
+        assert len(batch) == 5
+        assert [int(r.window[0, 0]) for r in batch] == [0, 1, 2, 3, 4]
+
+    def test_respects_max_batch_size(self):
+        batcher = MicroBatcher(max_batch_size=3, max_wait_ms=50.0)
+        for i in range(7):
+            batcher.submit(_window(i))
+        assert len(batcher.next_batch()) == 3
+        assert len(batcher.next_batch()) == 3
+        assert len(batcher.next_batch()) == 1
+
+    def test_deadline_flushes_partial_batch(self):
+        batcher = MicroBatcher(max_batch_size=100, max_wait_ms=10.0)
+        batcher.submit(_window())
+        start = time.perf_counter()
+        batch = batcher.next_batch()
+        elapsed = time.perf_counter() - start
+        assert len(batch) == 1
+        assert elapsed < 1.0  # flushed by the deadline, not the poll timeout
+
+    def test_empty_queue_returns_empty_list(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=1.0)
+        assert batcher.next_batch(poll_timeout=0.01) == []
+
+    def test_close_returns_none_and_rejects_submissions(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        assert batcher.next_batch() is None
+        with pytest.raises(RuntimeError):
+            batcher.submit(_window())
+
+    def test_late_submitter_joins_open_batch(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=200.0)
+        batcher.submit(_window(1))
+
+        def late():
+            time.sleep(0.02)
+            batcher.submit(_window(2))
+
+        thread = threading.Thread(target=late)
+        thread.start()
+        batch = batcher.next_batch()
+        thread.join()
+        assert len(batch) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ms=-1.0)

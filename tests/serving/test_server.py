@@ -1,0 +1,175 @@
+"""InferenceServer: correctness, caching, concurrency, lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.inference import PredictionResult
+from repro.serving import InferenceServer
+
+HISTORY, NODES, HORIZON = 4, 3, 2
+
+
+def _double_predict(windows: np.ndarray) -> PredictionResult:
+    """Deterministic toy model: mean = 2 * last observation, tiled over horizon."""
+    mean = np.repeat(2.0 * windows[:, -1:, :], HORIZON, axis=1)
+    return PredictionResult(
+        mean=mean,
+        aleatoric_var=np.full_like(mean, 0.25),
+        epistemic_var=np.zeros_like(mean),
+    )
+
+
+class _CountingPredict:
+    def __init__(self):
+        self.calls = 0
+        self.windows_seen = 0
+        self.lock = threading.Lock()
+
+    def __call__(self, windows):
+        with self.lock:
+            self.calls += 1
+            self.windows_seen += windows.shape[0]
+        return _double_predict(windows)
+
+
+def _windows(count, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 10.0, size=(count, HISTORY, NODES))
+
+
+class TestInferenceServer:
+    def test_predict_many_matches_direct_call(self):
+        windows = _windows(8)
+        direct = _double_predict(windows)
+        with InferenceServer(_double_predict, model_version="t1") as server:
+            results = server.predict_many(windows)
+        assert len(results) == 8
+        for i, result in enumerate(results):
+            np.testing.assert_allclose(result.mean, direct[i].mean, rtol=0, atol=0)
+            assert result.mean.shape == (1, HORIZON, NODES)
+
+    def test_repeated_windows_hit_cache(self):
+        predict = _CountingPredict()
+        windows = _windows(5)
+        with InferenceServer(predict, model_version="t2", max_wait_ms=5.0) as server:
+            server.predict_many(windows)
+            server.predict_many(windows)  # second round: all cached
+            stats = server.stats
+        assert predict.windows_seen == 5
+        assert stats["requests_served"] == 10
+        assert stats["cache_hits"] >= 5
+
+    def test_duplicates_within_a_batch_run_model_once(self):
+        predict = _CountingPredict()
+        window = _windows(1)[0]
+        batch = [window, window, window, window]
+        # A single worker serializes batches, so even if the duplicates split
+        # across micro-batches the later ones are answered from the cache.
+        with InferenceServer(predict, model_version="t3", max_wait_ms=20.0, num_workers=1) as server:
+            results = server.predict_many(batch)
+        assert predict.windows_seen == 1
+        assert len(results) == 4
+        for result in results:
+            np.testing.assert_allclose(result.mean, results[0].mean)
+
+    def test_cache_disabled(self):
+        predict = _CountingPredict()
+        windows = _windows(3)
+        with InferenceServer(predict, model_version="t4", cache_size=0) as server:
+            server.predict_many(windows)
+            server.predict_many(windows)
+        assert predict.windows_seen == 6
+        assert "cache_hits" not in InferenceServer(predict, cache_size=0).stats
+
+    def test_concurrent_submitters(self):
+        predict = _CountingPredict()
+        errors = []
+
+        def client(seed):
+            try:
+                windows = _windows(4, seed=seed)
+                expected = _double_predict(windows)
+                results = server.predict_many(windows)
+                for i, result in enumerate(results):
+                    np.testing.assert_allclose(result.mean, expected[i].mean)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        with InferenceServer(predict, model_version="t5", num_workers=3) as server:
+            threads = [threading.Thread(target=client, args=(s,)) for s in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+
+    def test_submit_requires_running_server(self):
+        server = InferenceServer(_double_predict)
+        with pytest.raises(RuntimeError):
+            server.submit(_windows(1)[0])
+
+    def test_submit_rejects_batched_input(self):
+        with InferenceServer(_double_predict) as server:
+            with pytest.raises(ValueError):
+                server.submit(_windows(2))  # 3-D: a batch, not a window
+
+    def test_stop_is_idempotent(self):
+        server = InferenceServer(_double_predict).start()
+        server.stop()
+        server.stop()
+
+    def test_stats_mean_batch_size(self):
+        with InferenceServer(_double_predict, max_wait_ms=20.0) as server:
+            server.predict_many(_windows(6))
+            stats = server.stats
+        assert stats["requests_served"] == 6
+        assert stats["mean_batch_size"] >= 1.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            InferenceServer(_double_predict, num_workers=0)
+
+
+class TestServeMethodIntegration:
+    """End-to-end: a fitted UQ method served through UQMethod.serve()."""
+
+    @pytest.fixture(scope="class")
+    def fitted_mve(self):
+        from repro.core import TrainingConfig
+        from repro.data import TrafficData, generate_traffic, train_val_test_split
+        from repro.graph import grid_network
+        from repro.uq import create_method
+
+        network = grid_network(2, 2)
+        values = generate_traffic(network, 260, seed=2)
+        traffic = TrafficData(name="serve-test", values=values, network=network)
+        train, val, test = train_val_test_split(traffic)
+        config = TrainingConfig(
+            history=HISTORY, horizon=HORIZON, hidden_dim=4, embed_dim=2,
+            epochs=2, batch_size=64, seed=0,
+        )
+        method = create_method("MVE", 4, config=config).fit(train, val)
+        return method, test
+
+    def test_served_results_match_direct_predict(self, fitted_mve):
+        from repro.data import SlidingWindowDataset
+
+        method, test = fitted_mve
+        windows, _ = SlidingWindowDataset(
+            test.slice_steps(0, 30), history=HISTORY, horizon=HORIZON
+        ).arrays()
+        direct = method.predict(windows)
+        with method.serve(max_batch_size=16, max_wait_ms=10.0) as server:
+            served = server.predict_many(windows)
+        rebuilt = PredictionResult.concatenate(served)
+        np.testing.assert_allclose(rebuilt.mean, direct.mean, rtol=0, atol=1e-10)
+        np.testing.assert_allclose(rebuilt.aleatoric_var, direct.aleatoric_var, rtol=0, atol=1e-10)
+
+    def test_serve_requires_fitted_method(self):
+        from repro.core import TrainingConfig
+        from repro.uq import create_method
+
+        method = create_method("MVE", 4, config=TrainingConfig(history=HISTORY, horizon=HORIZON))
+        with pytest.raises(RuntimeError):
+            method.serve()

@@ -1,0 +1,66 @@
+"""Serving throughput smoke tests (run with ``pytest -m slow``).
+
+Tier-1 stays fast because these are deselected by the default ``-m "not
+slow"``; the CI job that exercises serving performance opts back in.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.inference import BatchedPredictor
+from repro.data.scalers import StandardScaler
+from repro.models.agcrn import AGCRN
+
+NODES, HISTORY, HORIZON = 8, 8, 4
+
+
+def _predictor():
+    rng = np.random.default_rng(0)
+    model = AGCRN(
+        num_nodes=NODES, history=HISTORY, horizon=HORIZON, hidden_dim=8, embed_dim=3,
+        encoder_dropout=0.1, decoder_dropout=0.2, heads=("mean", "log_var"), rng=rng,
+    )
+    scaler = StandardScaler().fit(np.array([0.0, 100.0]))
+    return model, scaler, BatchedPredictor(model, scaler)
+
+
+@pytest.mark.slow
+class TestThroughputSmoke:
+    def test_batched_mc_beats_looped_at_32_samples(self):
+        # 4 windows is a representative micro-batch from the serving queue;
+        # the folded pass amortizes the per-timestep Python dispatch that the
+        # looped path pays 32 times.
+        _, scaler, predictor = _predictor()
+        inputs = np.random.default_rng(1).uniform(-1, 1, size=(4, HISTORY, NODES))
+
+        def run(vectorized):
+            start = time.perf_counter()
+            predictor.monte_carlo(
+                inputs, num_samples=32, rng=np.random.default_rng(2), vectorized=vectorized
+            )
+            return time.perf_counter() - start
+
+        run(True)  # warm-up
+        batched = min(run(True) for _ in range(5))
+        looped = min(run(False) for _ in range(5))
+        assert looped / batched >= 3.0, f"speedup only {looped / batched:.2f}x"
+
+    def test_server_sustains_many_requests(self):
+        model, scaler, predictor = _predictor()
+        from repro.serving import InferenceServer
+
+        def predict_fn(windows):
+            return predictor.monte_carlo(
+                scaler.transform(windows), num_samples=8, rng=np.random.default_rng(3)
+            )
+
+        windows = np.random.default_rng(4).uniform(0, 100, size=(64, HISTORY, NODES))
+        start = time.perf_counter()
+        with InferenceServer(predict_fn, model_version="smoke", max_batch_size=32) as server:
+            results = server.predict_many(windows)
+        elapsed = time.perf_counter() - start
+        assert len(results) == 64
+        throughput = len(results) / elapsed
+        assert throughput > 10.0, f"served only {throughput:.1f} windows/s"

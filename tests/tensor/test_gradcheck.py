@@ -1,10 +1,14 @@
 """Finite-difference gradient checks and hypothesis property tests for autodiff."""
 
+import zlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro import nn
+from repro.nn.module import Module
 from repro.tensor import Tensor, gradcheck
 from repro.tensor import functional as F
 
@@ -88,6 +92,136 @@ class TestGradcheckOps:
         a = Tensor([1.0])
         with pytest.raises(ValueError):
             gradcheck(lambda x: x.sum(), [a])
+
+
+class _AdaptiveBlock(Module):
+    """AdaptiveAdjacency + AVWGCN wired the way AGCRN uses them."""
+
+    def __init__(self, num_nodes, in_features, out_features, embed_dim, cheb_k, rng):
+        super().__init__()
+        self.adjacency = nn.AdaptiveAdjacency(num_nodes, embed_dim, rng=rng)
+        self.conv = nn.AVWGCN(in_features, out_features, embed_dim, cheb_k=cheb_k, rng=rng)
+
+    def forward(self, x):
+        return self.conv(x, self.adjacency(), self.adjacency.embeddings)
+
+
+def _rand_support(rng, n):
+    """A well-conditioned normalized (n, n) propagation matrix."""
+    raw = np.abs(rng.normal(size=(n, n))) + 0.1
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+def _build_linear(rng, b, t, n, c, h):
+    return nn.Linear(c, h, rng=rng), (b, c)
+
+
+def _build_causal_conv(rng, b, t, n, c, h):
+    return nn.CausalConv1d(c, h, kernel_size=2, rng=rng), (b, t, n, c)
+
+
+def _build_valid_conv(rng, b, t, n, c, h):
+    return nn.CausalConv1d(c, h, kernel_size=2, causal=False, rng=rng), (b, t + 1, n, c)
+
+
+def _build_gated_conv(rng, b, t, n, c, h):
+    return nn.GatedTemporalConv(c, h, kernel_size=2, rng=rng), (b, t, n, c)
+
+
+def _build_gru(rng, b, t, n, c, h):
+    gru = nn.GRU(c, h, rng=rng)
+    return (lambda x: gru(x)[0]), gru, (b, t, c)
+
+
+def _build_gru_cell(rng, b, t, n, c, h):
+    cell = nn.GRUCell(c, h, rng=rng)
+    hidden = Tensor(rng.normal(size=(b, h)))
+    return (lambda x: cell(x, hidden)), cell, (b, c)
+
+
+def _build_gcn(rng, b, t, n, c, h):
+    return nn.GCNLayer(c, h, _rand_support(rng, n), activation="tanh", rng=rng), (b, n, c)
+
+
+def _build_cheb(rng, b, t, n, c, h):
+    supports = [np.eye(n), _rand_support(rng, n)]
+    return nn.ChebConv(c, h, supports, rng=rng), (b, n, c)
+
+
+def _build_diffusion(rng, b, t, n, c, h):
+    supports = [_rand_support(rng, n), _rand_support(rng, n).T]
+    return nn.DiffusionConv(c, h, supports, max_step=2, rng=rng), (b, n, c)
+
+
+def _build_avwgcn(rng, b, t, n, c, h):
+    return _AdaptiveBlock(n, c, h, embed_dim=2, cheb_k=2, rng=rng), (b, n, c)
+
+
+def _build_spatial_attention(rng, b, t, n, c, h):
+    return nn.SpatialAttention(t, c, rng=rng), (b, t, n, c)
+
+
+def _build_temporal_attention(rng, b, t, n, c, h):
+    return nn.TemporalAttention(n, c, rng=rng), (b, t, n, c)
+
+
+def _build_batchnorm(rng, b, t, n, c, h):
+    layer = nn.BatchNorm1d(c)
+    layer.running_mean = rng.normal(size=c)
+    layer.running_var = np.abs(rng.normal(size=c)) + 0.5
+    # Eval mode: running statistics are constants, so the full input gradient
+    # is well-defined (training-mode batch stats are intentionally detached).
+    layer.eval()
+    return layer, (b, n, c)
+
+
+def _build_layernorm(rng, b, t, n, c, h):
+    return nn.LayerNorm(c), (b, n, c)
+
+
+LAYER_BUILDERS = {
+    "linear": _build_linear,
+    "causal_conv": _build_causal_conv,
+    "valid_conv": _build_valid_conv,
+    "gated_conv": _build_gated_conv,
+    "gru": _build_gru,
+    "gru_cell": _build_gru_cell,
+    "gcn": _build_gcn,
+    "cheb_conv": _build_cheb,
+    "diffusion_conv": _build_diffusion,
+    "avwgcn": _build_avwgcn,
+    "spatial_attention": _build_spatial_attention,
+    "temporal_attention": _build_temporal_attention,
+    "batchnorm": _build_batchnorm,
+    "layernorm": _build_layernorm,
+}
+
+
+class TestLayerGradchecks:
+    """Finite-difference agreement for every nn layer, randomized shapes/seeds.
+
+    Each case draws small random dimensions from its seed, builds the layer,
+    and checks the analytic gradient of ``layer(x).sum()`` against central
+    finite differences with respect to the input *and every parameter*.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("name", sorted(LAYER_BUILDERS))
+    def test_layer_matches_finite_differences(self, name, seed):
+        # crc32 (not hash()) so shapes are stable across processes/PYTHONHASHSEED.
+        rng = np.random.default_rng(1000 * seed + zlib.crc32(name.encode()) % 1000)
+        b, t, n = rng.integers(2, 4), int(rng.integers(2, 4)), int(rng.integers(2, 4))
+        c, h = int(rng.integers(2, 4)), int(rng.integers(2, 4))
+        built = LAYER_BUILDERS[name](rng, int(b), t, n, c, h)
+        if len(built) == 3:
+            forward, layer, in_shape = built
+        else:
+            layer, in_shape = built
+            forward = layer
+        x = Tensor(rng.normal(size=in_shape), requires_grad=True)
+        params = layer.parameters()
+        assert params, f"{name} exposes no parameters"
+        assert gradcheck(lambda *ts: forward(ts[0]).sum(), [x] + params)
 
 
 @st.composite

@@ -1,0 +1,106 @@
+"""Edge cases for Tensor.var / Tensor.std surfaced while vectorizing MC inference.
+
+Zero-variance slices and single-sample (``N_MC = 1``) reductions must yield
+finite zeros — never NaN — both in the forward values and in the gradients,
+and ``PredictionResult.std`` must stay finite under the same conditions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import PredictionResult
+from repro.tensor import Tensor, gradcheck
+
+
+class TestVar:
+    def test_matches_numpy_population(self, rng):
+        data = rng.normal(size=(4, 5))
+        assert np.allclose(Tensor(data).var(axis=0).numpy(), data.var(axis=0))
+
+    def test_matches_numpy_ddof1(self, rng):
+        data = rng.normal(size=(4, 5))
+        assert np.allclose(Tensor(data).var(axis=0, ddof=1).numpy(), data.var(axis=0, ddof=1))
+
+    def test_single_sample_ddof1_is_zero_not_nan(self):
+        data = np.array([[1.5, -2.0, 3.0]])
+        out = Tensor(data).var(axis=0, ddof=1).numpy()
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, 0.0)
+
+    def test_single_sample_ddof1_gradient_is_zero(self):
+        x = Tensor(np.array([[1.5, -2.0, 3.0]]), requires_grad=True)
+        x.var(axis=0, ddof=1).sum().backward()
+        assert np.allclose(x.grad, 0.0)
+
+    def test_gradcheck_ddof1(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        assert gradcheck(lambda t: t.var(axis=0, ddof=1).sum(), [x])
+
+
+class TestStd:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(size=(6, 4))
+        assert np.allclose(Tensor(data).std(axis=0).numpy(), data.std(axis=0))
+        assert np.allclose(Tensor(data).std(axis=1, ddof=1).numpy(), data.std(axis=1, ddof=1))
+
+    def test_zero_variance_is_zero_not_nan(self):
+        constant = Tensor(np.full((4, 3), 7.0))
+        out = constant.std(axis=0).numpy()
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, 0.0)
+
+    def test_zero_variance_gradient_is_finite(self):
+        x = Tensor(np.full((4, 3), 7.0), requires_grad=True)
+        x.std(axis=0).sum().backward()
+        assert np.all(np.isfinite(x.grad))
+        assert np.allclose(x.grad, 0.0)
+
+    def test_single_sample_ddof1_is_zero(self):
+        x = Tensor(np.array([[2.0, 4.0]]))
+        assert np.allclose(x.std(axis=0, ddof=1).numpy(), 0.0)
+
+    def test_gradcheck_nondegenerate(self, rng):
+        x = Tensor(rng.normal(size=(5,)) * 3.0, requires_grad=True)
+        assert gradcheck(lambda t: t.std().sum(), [x])
+
+    def test_keepdims(self, rng):
+        data = rng.normal(size=(3, 4))
+        assert Tensor(data).std(axis=1, keepdims=True).shape == (3, 1)
+
+
+class TestPredictionResultStd:
+    def test_zero_variance_result_is_finite(self):
+        mean = np.zeros((2, 3, 4))
+        result = PredictionResult(
+            mean=mean, aleatoric_var=np.zeros_like(mean), epistemic_var=np.zeros_like(mean)
+        )
+        assert np.all(np.isfinite(result.std))
+        assert np.allclose(result.std, 0.0)
+
+    def test_tiny_negative_variance_clipped(self):
+        # Float cancellation in the fused reductions can produce -1e-30-ish
+        # variances; std must clip them instead of propagating NaN.
+        mean = np.zeros((1, 2, 2))
+        result = PredictionResult(
+            mean=mean,
+            aleatoric_var=np.full_like(mean, -1e-30),
+            epistemic_var=np.zeros_like(mean),
+        )
+        assert np.all(np.isfinite(result.std))
+        assert np.allclose(result.std, 0.0)
+
+    def test_getitem_and_concatenate_roundtrip(self):
+        mean = np.arange(24, dtype=np.float64).reshape(4, 3, 2)
+        result = PredictionResult(
+            mean=mean, aleatoric_var=mean + 1.0, epistemic_var=mean + 2.0
+        )
+        parts = [result[i] for i in range(result.num_windows)]
+        assert all(p.mean.shape == (1, 3, 2) for p in parts)
+        rebuilt = PredictionResult.concatenate(parts)
+        assert np.array_equal(rebuilt.mean, result.mean)
+        assert np.array_equal(rebuilt.aleatoric_var, result.aleatoric_var)
+        assert np.array_equal(rebuilt.epistemic_var, result.epistemic_var)
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            PredictionResult.concatenate([])
