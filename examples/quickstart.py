@@ -1,5 +1,5 @@
 """Quickstart: train DeepSTUQ on a synthetic PEMS08 dataset and forecast with
-uncertainty.
+uncertainty, through the unified ``repro.api`` facade.
 
 Run with::
 
@@ -9,19 +9,29 @@ Run with::
 The script walks through the full public API:
 
 1. load a (synthetic) PEMS dataset and split it chronologically 6:2:2;
-2. configure and fit the three-stage DeepSTUQ pipeline
+2. describe the forecaster as one declarative, JSON-round-trippable spec
+   (UQ method + backbone + training config) and fit it in one call
    (pre-training -> AWA re-training -> temperature calibration);
 3. produce probabilistic forecasts on the test split;
-4. report the paper's point and uncertainty metrics.
+4. save a full-state checkpoint, reload it, and verify the restored
+   forecaster reproduces the predictions bit-identically;
+5. report the paper's point and uncertainty metrics.
+
+The low-level API is still available when you need stage-level control::
+
+    from repro.core import DeepSTUQConfig, DeepSTUQPipeline
+    pipeline = DeepSTUQPipeline(traffic.num_nodes, DeepSTUQConfig(...))
+    pipeline.fit(train, val); result, targets = pipeline.predict_on(test)
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 
 import numpy as np
 
-from repro.core import AWAConfig, DeepSTUQConfig, DeepSTUQPipeline, TrainingConfig
+from repro.api import Forecaster
 from repro.data import load_pems, train_val_test_split
 from repro.metrics import point_metrics, uncertainty_metrics
 from repro.utils import format_table
@@ -47,28 +57,38 @@ def main() -> None:
           f"({train.num_steps} train / {val.num_steps} val / {test.num_steps} test)")
 
     history, horizon = (6, 3) if args.fast else (12, 12)
-    config = DeepSTUQConfig(
-        training=TrainingConfig(
-            history=history,
-            horizon=horizon,
-            hidden_dim=8 if args.fast else 16,
-            embed_dim=3 if args.fast else 4,
-            epochs=epochs,
-            mc_samples=3 if args.fast else 10,
-            encoder_dropout=0.05,
-        ),
-        awa=AWAConfig(epochs=2 if args.fast else 6),
-    )
+    spec = {
+        "method": "DeepSTUQ",
+        "backbone": "AGCRN",
+        "method_kwargs": {"awa_config": {"epochs": 2 if args.fast else 6}},
+        "training": {
+            "history": history,
+            "horizon": horizon,
+            "hidden_dim": 8 if args.fast else 16,
+            "embed_dim": 3 if args.fast else 4,
+            "epochs": epochs,
+            "mc_samples": 3 if args.fast else 10,
+            "encoder_dropout": 0.05,
+        },
+    }
 
     print("Fitting DeepSTUQ (pre-train -> AWA re-train -> calibrate) ...")
-    pipeline = DeepSTUQPipeline(traffic.num_nodes, config)
-    pipeline.fit(train, val)
-    print(f"  calibration temperature T = {pipeline.calibrator.temperature:.3f}")
+    forecaster = Forecaster.from_spec(spec)
+    forecaster.fit(train, val)
+    print(f"  calibration temperature T = {forecaster.method.temperature:.3f}")
 
     print("Forecasting the test split ...")
-    result, targets = pipeline.predict_on(test)
+    result, targets = forecaster.predict_on(test)
     point = point_metrics(result.mean, targets)
     interval = uncertainty_metrics(targets, result.mean, result.std)
+
+    # Full-state checkpoint round trip: spec + weights + scaler + temperature.
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        forecaster.save(checkpoint_dir)
+        restored = Forecaster.load(checkpoint_dir)
+        restored_result, _ = restored.predict_on(test)
+        identical = np.array_equal(result.mean, restored_result.mean)
+    print(f"Checkpoint reload reproduces predictions bit-identically: {identical}")
 
     print()
     print(format_table(

@@ -17,6 +17,9 @@ A Unified Approach" (ICDE 2023).  It contains:
   harness regenerating every table and figure of the paper.
 * ``repro.serving`` — request micro-batching, LRU prediction caching and a
   threaded inference server over the vectorized Monte-Carlo engine.
+* ``repro.api`` — the unified Forecaster facade: declarative
+  (backbone x method x config) specs, one fit/predict surface and
+  full-state directory checkpoints.
 """
 
 __version__ = "1.0.0"
@@ -33,5 +36,6 @@ __all__ = [
     "metrics",
     "evaluation",
     "serving",
+    "api",
     "utils",
 ]

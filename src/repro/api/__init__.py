@@ -1,0 +1,32 @@
+"""Unified declarative API: one spec -> one forecaster -> one checkpoint.
+
+The paper benchmarks ten UQ methods over one shared base architecture; this
+package generalizes that to *any* (backbone x method x config) combination as
+pure configuration:
+
+* :class:`~repro.api.spec.ForecasterSpec` — a JSON-round-trippable
+  description of the combination (method + backbone + kwargs + training);
+* :class:`~repro.api.forecaster.Forecaster` — the facade that builds, fits,
+  forecasts, saves and loads the described model.
+
+Typical usage::
+
+    from repro.api import Forecaster
+
+    forecaster = Forecaster.from_spec({
+        "method": "MCDO",
+        "backbone": "DCRNN",
+        "training": {"history": 12, "horizon": 12, "epochs": 10},
+    })
+    forecaster.fit(train, val)
+    result = forecaster.predict(histories)
+    forecaster.save("checkpoints/mcdo-dcrnn")
+
+    restored = Forecaster.load("checkpoints/mcdo-dcrnn")  # bit-identical
+    server = restored.serve(max_batch_size=32)
+"""
+
+from repro.api.forecaster import CHECKPOINT_FORMAT_VERSION, Forecaster
+from repro.api.spec import ForecasterSpec
+
+__all__ = ["Forecaster", "ForecasterSpec", "CHECKPOINT_FORMAT_VERSION"]

@@ -1,0 +1,123 @@
+"""Declarative forecaster specifications (JSON-round-trippable).
+
+A :class:`ForecasterSpec` pins down one (backbone x UQ method x training
+configuration) combination as plain data: it can be built from / dumped to a
+JSON document, stored inside a checkpoint, and handed to
+:class:`~repro.api.forecaster.Forecaster` to construct the described model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Dict
+
+from repro.core.trainer import TrainingConfig
+
+#: TrainingConfig field names, accepted both nested under ``training`` and flat.
+_TRAINING_FIELDS = {f.name for f in dataclass_fields(TrainingConfig)}
+
+
+@dataclass
+class ForecasterSpec:
+    """One forecaster as configuration.
+
+    Attributes
+    ----------
+    method:
+        A UQ method name from :data:`repro.uq.registry.METHOD_INFO`.
+    backbone:
+        A base-architecture name from
+        :data:`repro.models.registry.BACKBONE_INFO` (aliases accepted).
+    method_kwargs:
+        Method-specific constructor options (``num_members``,
+        ``significance``, ``awa_config`` as a dict, ...).
+    backbone_kwargs:
+        Architecture-specific constructor options (``hidden_channels``,
+        ``num_layers``, ...), forwarded to the backbone builder.
+    training:
+        :class:`TrainingConfig` field overrides (``epochs``, ``history``,
+        ``seed``, ...).
+
+    Examples
+    --------
+    >>> spec = ForecasterSpec.from_dict(
+    ...     {"method": "MCDO", "backbone": "DCRNN", "history": 6, "horizon": 3}
+    ... )
+    >>> spec == ForecasterSpec.from_json(spec.to_json())
+    True
+    """
+
+    method: str = "DeepSTUQ"
+    backbone: str = "AGCRN"
+    method_kwargs: Dict[str, Any] = field(default_factory=dict)
+    backbone_kwargs: Dict[str, Any] = field(default_factory=dict)
+    training: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.models.registry import backbone_info
+        from repro.uq.registry import method_info
+
+        method_info(self.method)  # raises KeyError on unknown names
+        self.backbone = backbone_info(self.backbone).name
+        unknown = set(self.training) - _TRAINING_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown training fields {sorted(unknown)}; "
+                f"valid fields: {sorted(_TRAINING_FIELDS)}"
+            )
+        self.method_kwargs = dict(self.method_kwargs)
+        self.backbone_kwargs = dict(self.backbone_kwargs)
+        self.training = dict(self.training)
+
+    # ------------------------------------------------------------------ #
+    def training_config(self) -> TrainingConfig:
+        """Materialize the training overrides as a :class:`TrainingConfig`."""
+        return TrainingConfig(**self.training)
+
+    # ------------------------------------------------------------------ #
+    # Round-tripping
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (safe to ``json.dump``)."""
+        return {
+            "method": self.method,
+            "backbone": self.backbone,
+            "method_kwargs": dict(self.method_kwargs),
+            "backbone_kwargs": dict(self.backbone_kwargs),
+            "training": dict(self.training),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ForecasterSpec":
+        """Build a spec from a dict.
+
+        Top-level keys are the dataclass fields; as a convenience, any
+        top-level key that names a :class:`TrainingConfig` field (``epochs``,
+        ``history``, ...) is folded into ``training``, so flat specs like
+        ``{"backbone": "DCRNN", "method": "MCDO", "epochs": 5}`` work.
+        """
+        if isinstance(data, ForecasterSpec):
+            return data
+        data = dict(data)
+        training = dict(data.pop("training", {}))
+        kwargs: Dict[str, Any] = {}
+        for key in ("method", "backbone", "method_kwargs", "backbone_kwargs"):
+            if key in data:
+                kwargs[key] = data.pop(key)
+        for key in list(data):
+            if key in _TRAINING_FIELDS:
+                training[key] = data.pop(key)
+        if data:
+            raise ValueError(
+                f"unknown spec keys {sorted(data)}; expected method/backbone/"
+                f"method_kwargs/backbone_kwargs/training or TrainingConfig fields"
+            )
+        return cls(training=training, **kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ForecasterSpec":
+        return cls.from_dict(json.loads(document))

@@ -1,9 +1,8 @@
 """The three-stage DeepSTUQ pipeline (paper Section IV-D).
 
-Stage 1 — **pre-training**: the AGCRN base model with mean / log-variance
-heads and dropout is trained on the training split with the combined loss
-(Eq. 14), estimating aleatoric uncertainty and enabling MC-dropout epistemic
-sampling.
+Stage 1 — **pre-training**: the base model with mean / log-variance heads and
+dropout is trained on the training split with the combined loss (Eq. 14),
+estimating aleatoric uncertainty and enabling MC-dropout epistemic sampling.
 
 Stage 2 — **AWA re-training**: the pre-trained model is re-trained with the
 cyclic cosine learning rate of Algorithm 1 while its weights are averaged
@@ -15,12 +14,18 @@ inference time.
 
 Inference draws ``N_MC`` Monte-Carlo dropout samples and decomposes the
 predictive variance into aleatoric and epistemic parts (Eqs. 7 and 19).
+
+The base model is the paper's AGCRN by default, but any backbone registered
+in :mod:`repro.models.registry` can be substituted (``backbone="DCRNN"``
+plus an adjacency matrix); sliding-window and scaling scaffolding is shared
+with :class:`~repro.uq.base.UQMethod` through
+:class:`~repro.core.windowing.WindowedForecaster`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -29,9 +34,10 @@ from repro.core.calibration import TemperatureCalibrator
 from repro.core.inference import PredictionResult, deterministic_forecast, monte_carlo_forecast
 from repro.core.losses import combined_loss
 from repro.core.trainer import Trainer, TrainingConfig
-from repro.data.datasets import SlidingWindowDataset, TrafficData
+from repro.core.windowing import WindowedForecaster
+from repro.data.datasets import TrafficData
 from repro.data.scalers import StandardScaler
-from repro.models.agcrn import AGCRN
+from repro.utils.serialization import pack_state_arrays, unpack_state_arrays
 
 
 @dataclass
@@ -46,7 +52,7 @@ class DeepSTUQConfig:
     use_calibration: bool = True
 
 
-class DeepSTUQPipeline:
+class DeepSTUQPipeline(WindowedForecaster):
     """Train and apply DeepSTUQ on a traffic dataset.
 
     Parameters
@@ -58,6 +64,10 @@ class DeepSTUQPipeline:
         (scaled down for CPU).
     rng:
         Random generator controlling weight init and MC sampling.
+    backbone, backbone_kwargs, adjacency:
+        Base-architecture selection, resolved through
+        :func:`repro.models.registry.create_backbone`; the default is the
+        paper's AGCRN, for which no adjacency is needed.
 
     Examples
     --------
@@ -72,22 +82,24 @@ class DeepSTUQPipeline:
         num_nodes: int,
         config: Optional[DeepSTUQConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        backbone: str = "AGCRN",
+        backbone_kwargs: Optional[Dict[str, Any]] = None,
+        adjacency: Optional[np.ndarray] = None,
     ) -> None:
+        from repro.models.registry import create_backbone
+
+        self.num_nodes = num_nodes
         self.config = config if config is not None else DeepSTUQConfig()
         self._rng = rng if rng is not None else np.random.default_rng(self.config.training.seed)
-        training = self.config.training
-        self.model = AGCRN(
+        self._configure_backbone(backbone, backbone_kwargs, adjacency)
+        self.model = create_backbone(
+            self.backbone_name,
             num_nodes=num_nodes,
-            history=training.history,
-            horizon=training.horizon,
-            hidden_dim=training.hidden_dim,
-            embed_dim=training.embed_dim,
-            cheb_k=training.cheb_k,
-            num_layers=training.num_layers,
-            encoder_dropout=training.encoder_dropout,
-            decoder_dropout=training.decoder_dropout,
+            config=self.config.training,
             heads=("mean", "log_var"),
+            adjacency=self.adjacency,
             rng=self._rng,
+            **self.backbone_kwargs,
         )
         self.scaler: Optional[StandardScaler] = None
         self.calibrator = TemperatureCalibrator(max_iter=self.config.calibration_max_iter)
@@ -97,6 +109,14 @@ class DeepSTUQPipeline:
         self.fitted = False
 
     # ------------------------------------------------------------------ #
+    @property
+    def window_config(self) -> TrainingConfig:
+        return self.config.training
+
+    @property
+    def _display_name(self) -> str:
+        return "the pipeline"
+
     def _loss(self, output, target):
         return combined_loss(
             output["mean"], output["log_var"], target, lambda_weight=self.config.training.lambda_weight
@@ -110,7 +130,7 @@ class DeepSTUQPipeline:
     ) -> "DeepSTUQPipeline":
         """Run the three training stages."""
         # Stage 1: pre-training with the combined loss.
-        self.scaler = StandardScaler().fit(train_data.values)
+        self._fit_scaler(train_data)
         self.trainer = Trainer(self.model, self.config.training, self._loss, scaler=self.scaler)
         self.trainer.fit(train_data, val_data=None, verbose=verbose)
         self.stage_history["pretraining"] = list(self.trainer.history)
@@ -145,12 +165,6 @@ class DeepSTUQPipeline:
         return temperature
 
     # ------------------------------------------------------------------ #
-    def _windows(self, data: TrafficData):
-        dataset = SlidingWindowDataset(
-            data, history=self.config.training.history, horizon=self.config.training.horizon
-        )
-        return dataset.arrays()
-
     def predict(
         self,
         histories: np.ndarray,
@@ -172,13 +186,10 @@ class DeepSTUQPipeline:
             Evaluate all MC samples in one folded forward pass (default) or
             loop over them; the results are identical for the same seed.
         """
-        if self.scaler is None:
-            raise RuntimeError("the pipeline must be fitted before predicting")
         samples = num_samples if num_samples is not None else self.config.training.mc_samples
-        scaled = self.scaler.transform(np.asarray(histories, dtype=np.float64))
         return monte_carlo_forecast(
             self.model,
-            scaled,
+            self._scale_inputs(histories),
             self.scaler,
             num_samples=samples,
             temperature=self.calibrator.temperature,
@@ -188,16 +199,37 @@ class DeepSTUQPipeline:
 
     def predict_single_pass(self, histories: np.ndarray) -> PredictionResult:
         """DeepSTUQ/S: one deterministic forward pass (dropout off)."""
-        if self.scaler is None:
-            raise RuntimeError("the pipeline must be fitted before predicting")
-        scaled = self.scaler.transform(np.asarray(histories, dtype=np.float64))
-        result = deterministic_forecast(self.model, scaled, self.scaler)
+        result = deterministic_forecast(self.model, self._scale_inputs(histories), self.scaler)
         calibrated = self.calibrator.calibrate_variance(result.aleatoric_var)
         return PredictionResult(
             mean=result.mean, aleatoric_var=calibrated, epistemic_var=result.epistemic_var
         )
 
-    def predict_on(self, data: TrafficData, num_samples: Optional[int] = None):
-        """Forecast every window of a traffic series; returns (result, targets)."""
-        inputs, targets = self._windows(data)
-        return self.predict(inputs, num_samples=num_samples), targets
+    # ------------------------------------------------------------------ #
+    # Full-state checkpointing
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, Any]:
+        """Inference state: backbone weights + scaler + calibration temperature."""
+        if not self.fitted:
+            raise RuntimeError("the pipeline must be fitted before its state can be saved")
+        meta: Dict[str, Any] = {
+            "backbone": self.backbone_name,
+            "fitted": True,
+            "temperature": self.calibrator.temperature,
+            "calibrator_fitted": self.calibrator.fitted,
+        }
+        scaler_state = self._scaler_state()
+        if scaler_state is not None:
+            meta["scaler"] = scaler_state
+        return {"meta": meta, "arrays": pack_state_arrays("model.", self.model.state_dict())}
+
+    def set_state(self, state: Dict[str, Any]) -> "DeepSTUQPipeline":
+        """Restore a :meth:`get_state` snapshot (same configuration required)."""
+        meta = state["meta"]
+        self._check_saved_backbone(meta)
+        self._restore_scaler(meta.get("scaler"))
+        self.model.load_state_dict(unpack_state_arrays("model.", state["arrays"]))
+        self.calibrator.temperature = float(meta.get("temperature", 1.0))
+        self.calibrator.fitted = bool(meta.get("calibrator_fitted", False))
+        self.fitted = bool(meta.get("fitted", True))
+        return self

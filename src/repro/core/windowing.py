@@ -1,0 +1,133 @@
+"""Shared sliding-window / scaling scaffolding for trainable forecasters.
+
+Both :class:`~repro.uq.base.UQMethod` and
+:class:`~repro.core.pipeline.DeepSTUQPipeline` forecast raw history windows
+through the same recipe — build sliding windows at the configured
+history/horizon, standardize inputs with the scaler fitted on the training
+split, refuse to predict before fitting.  :class:`WindowedForecaster`
+centralizes that scaffolding so the two classes cannot drift apart; they only
+provide the :attr:`window_config` hook (where their history/horizon live) and
+implement ``predict``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import SlidingWindowDataset, TrafficData
+from repro.data.scalers import StandardScaler
+
+
+class WindowedForecaster:
+    """Mixin: window construction, input scaling and fitted-state checks.
+
+    Hosts expose
+
+    * ``scaler`` — a fitted :class:`StandardScaler` (``None`` before fit);
+    * ``fitted`` — a boolean flipped by their ``fit``;
+    * :attr:`window_config` — an object with ``history`` and ``horizon``;
+    * ``_display_name`` — how error messages refer to the forecaster.
+    """
+
+    scaler: Optional[StandardScaler] = None
+    fitted: bool = False
+
+    @property
+    def window_config(self) -> Any:
+        """The object carrying ``history`` / ``horizon`` for windowing."""
+        raise NotImplementedError
+
+    @property
+    def _display_name(self) -> str:
+        return self.__class__.__name__
+
+    # ------------------------------------------------------------------ #
+    def _configure_backbone(
+        self,
+        backbone: str,
+        backbone_kwargs: Optional[dict],
+        adjacency: Optional[np.ndarray],
+    ) -> None:
+        """Resolve/validate the backbone choice and normalize its arguments.
+
+        Sets ``backbone_name``, ``backbone_kwargs`` and ``adjacency`` on the
+        host; the naive (parameter-free) reference backbones are rejected
+        because gradient-based fitting cannot train them.
+        """
+        from repro.models.registry import backbone_info
+
+        info = backbone_info(backbone)
+        if not info.trainable:
+            raise ValueError(
+                f"backbone {info.name!r} has no trainable parameters and cannot "
+                f"be trained by {self._display_name}; use it directly via "
+                "repro.models.create_backbone for naive-reference forecasts"
+            )
+        self.backbone_name = info.name
+        self.backbone_kwargs = dict(backbone_kwargs) if backbone_kwargs else {}
+        self.adjacency = (
+            np.asarray(adjacency, dtype=np.float64) if adjacency is not None else None
+        )
+
+    def _fit_scaler(self, train_data: TrafficData) -> StandardScaler:
+        self.scaler = StandardScaler().fit(train_data.values)
+        return self.scaler
+
+    def _windows(self, data: TrafficData) -> Tuple[np.ndarray, np.ndarray]:
+        """All sliding ``(inputs, targets)`` windows of a traffic series."""
+        config = self.window_config
+        dataset = SlidingWindowDataset(data, history=config.history, horizon=config.horizon)
+        return dataset.arrays()
+
+    def _scale_inputs(self, histories: np.ndarray) -> np.ndarray:
+        """Standardize raw history windows, refusing before the scaler exists."""
+        if self.scaler is None:
+            raise RuntimeError(f"{self._display_name} must be fitted before predicting")
+        return self.scaler.transform(np.asarray(histories, dtype=np.float64))
+
+    def _check_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(f"{self._display_name} must be fitted before predicting")
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint-state building blocks (shared by UQMethod and the pipeline)
+    # ------------------------------------------------------------------ #
+    def _scaler_state(self) -> Optional[dict]:
+        """JSON-able scaler statistics, or ``None`` when no scaler is fitted."""
+        if self.scaler is None:
+            return None
+        return {"mean": self.scaler.mean_, "std": self.scaler.std_}
+
+    def _restore_scaler(self, scaler_meta: Optional[dict]) -> None:
+        """Rebuild the scaler from :meth:`_scaler_state` output (no-op on None)."""
+        if scaler_meta is None:
+            return
+        self.scaler = StandardScaler()
+        self.scaler.mean_ = float(scaler_meta["mean"])
+        self.scaler.std_ = float(scaler_meta["std"])
+
+    def _check_saved_backbone(self, meta: dict) -> None:
+        """Reject state snapshots taken with a different backbone architecture."""
+        own = getattr(self, "backbone_name", None)
+        saved = meta.get("backbone", own)
+        if own is not None and saved != own:
+            raise ValueError(
+                f"state was saved with backbone {saved!r}, "
+                f"cannot restore into {own!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def predict(self, histories: np.ndarray, **kwargs):
+        """Probabilistic forecast for raw history windows (original scale)."""
+        raise NotImplementedError
+
+    def predict_on(self, data: TrafficData, **kwargs):
+        """Forecast every sliding window of ``data``; returns (result, targets).
+
+        Keyword arguments are forwarded to :meth:`predict` (e.g.
+        ``num_samples`` for the Monte-Carlo methods).
+        """
+        inputs, targets = self._windows(data)
+        return self.predict(inputs, **kwargs), targets

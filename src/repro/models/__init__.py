@@ -22,6 +22,7 @@ included for sanity checks.
 """
 
 from repro.models.base import ForecastModel
+from repro.models.heads import HeadAdapter
 from repro.models.agcrn import AGCRN, AGCRNCell
 from repro.models.dcrnn import DCRNN, DCGRUCell
 from repro.models.stgcn import STGCN
@@ -30,9 +31,22 @@ from repro.models.astgcn import ASTGCN
 from repro.models.stsgcn import STSGCN
 from repro.models.stfgnn import STFGNN
 from repro.models.naive import HistoricalAverage, LastValue
+from repro.models.registry import (
+    BACKBONE_INFO,
+    BackboneInfo,
+    available_backbones,
+    backbone_info,
+    create_backbone,
+)
 
 __all__ = [
     "ForecastModel",
+    "HeadAdapter",
+    "BACKBONE_INFO",
+    "BackboneInfo",
+    "available_backbones",
+    "backbone_info",
+    "create_backbone",
     "AGCRN",
     "AGCRNCell",
     "DCRNN",

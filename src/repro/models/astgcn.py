@@ -20,6 +20,8 @@ from repro.tensor import Tensor
 class ASTGCN(ForecastModel):
     """Single ASTGCN block (attention + graph conv + temporal conv) + head."""
 
+    requires_adjacency = True
+
     def __init__(
         self,
         num_nodes: int,

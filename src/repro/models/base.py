@@ -18,7 +18,15 @@ class ForecastModel(Module):
     shape ``(batch, horizon, num_nodes)`` (deterministic models) or a dict of
     named output heads with that shape (probabilistic models, e.g. ``mean``
     and ``log_var``).
+
+    The class attribute ``requires_adjacency`` declares whether the
+    constructor needs a dense road-network adjacency matrix; the backbone
+    registry (:mod:`repro.models.registry`) consults it when building models
+    from declarative specs.
     """
+
+    #: Whether the constructor takes a dense adjacency matrix as its second argument.
+    requires_adjacency: bool = False
 
     def __init__(self, num_nodes: int, history: int, horizon: int) -> None:
         super().__init__()

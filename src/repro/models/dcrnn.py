@@ -61,6 +61,8 @@ class DCGRUCell(Module):
 class DCRNN(ForecastModel):
     """Diffusion-convolution recurrent forecaster over a fixed road graph."""
 
+    requires_adjacency = True
+
     def __init__(
         self,
         num_nodes: int,

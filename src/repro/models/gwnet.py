@@ -62,6 +62,8 @@ class _GWNetLayer(Module):
 class GraphWaveNet(ForecastModel):
     """GraphWaveNet with a self-adaptive adjacency and skip-connection head."""
 
+    requires_adjacency = True
+
     def __init__(
         self,
         num_nodes: int,

@@ -1,0 +1,88 @@
+"""Head adapter: named probabilistic output heads for point-only backbones.
+
+Only :class:`~repro.models.agcrn.AGCRN` constructs named decoder heads
+natively; every other backbone in :mod:`repro.models` maps a history window
+to a single point forecast.  The UQ methods, however, are written against the
+head dict convention of :class:`~repro.models.base.ForecastModel` (``mean``
+plus, depending on the method, ``log_var`` or quantile heads).
+
+:class:`HeadAdapter` closes that gap: it wraps a point backbone, keeps the
+backbone's forecast as the ``mean`` head unchanged, and derives every extra
+head with a learnable per-node projection along the horizon axis (a 1x1
+convolution over horizon steps, mirroring how AGCRN realizes its decoder
+heads).  A dropout layer in front of the extra-head projections keeps the
+adapter compatible with Monte-Carlo sampling even when the wrapped backbone
+itself has no stochastic layers — the sampled means then coincide (zero
+epistemic spread), which honestly reflects the deterministic backbone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import nn
+from repro.models.base import ForecastModel
+from repro.tensor import Tensor
+
+
+class HeadAdapter(ForecastModel):
+    """Wrap a point-forecast backbone with named output heads.
+
+    Parameters
+    ----------
+    backbone:
+        A fitted-or-fresh :class:`ForecastModel` whose forward returns a
+        single ``(batch, horizon, num_nodes)`` tensor (or a dict with a
+        ``mean`` entry, which is reduced to its mean).
+    heads:
+        Requested head names; must contain ``"mean"``.  The mean head is the
+        backbone output itself; every other name gets a learnable
+        ``Linear(horizon, horizon)`` projection of the (dropout-masked)
+        backbone forecast.
+    dropout:
+        Rate of the dropout applied to the features feeding the extra heads.
+    """
+
+    requires_adjacency = False
+
+    def __init__(
+        self,
+        backbone: ForecastModel,
+        heads: Sequence[str],
+        dropout: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(backbone.num_nodes, backbone.history, backbone.horizon)
+        heads = tuple(heads)
+        if not heads or len(set(heads)) != len(heads):
+            raise ValueError("heads must be a non-empty sequence of unique names")
+        if "mean" not in heads:
+            raise ValueError(f"HeadAdapter heads must include 'mean', got {heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.backbone = backbone
+        self.head_names: Tuple[str, ...] = heads
+        self.extra_names: Tuple[str, ...] = tuple(name for name in heads if name != "mean")
+        self.head_dropout = nn.Dropout(dropout, rng=rng)
+        self.extra_heads = nn.ModuleList(
+            [nn.Linear(self.horizon, self.horizon, rng=rng) for _ in self.extra_names]
+        )
+
+    def forward(self, x: Union[Tensor, np.ndarray]) -> Union[Tensor, Dict[str, Tensor]]:
+        base = self.backbone(x)
+        mean = base["mean"] if isinstance(base, dict) else base  # (B, H, N)
+        if not self.extra_names:
+            return mean
+        outputs: Dict[str, Tensor] = {"mean": mean}
+        # (B, H, N) -> (B, N, H): the projections act along the horizon axis.
+        features = self.head_dropout(mean.transpose(0, 2, 1))
+        for name, head in zip(self.extra_names, self.extra_heads):
+            outputs[name] = head(features).transpose(0, 2, 1)
+        return outputs
+
+    def __repr__(self) -> str:
+        return (
+            f"HeadAdapter(backbone={self.backbone.__class__.__name__}, "
+            f"heads={list(self.head_names)})"
+        )

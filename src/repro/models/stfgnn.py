@@ -47,6 +47,8 @@ def temporal_similarity_graph(values: np.ndarray, top_k: int = 4) -> np.ndarray:
 class STFGNN(ForecastModel):
     """Fusion-graph convolutions + a gated dilated CNN branch."""
 
+    requires_adjacency = True
+
     def __init__(
         self,
         num_nodes: int,

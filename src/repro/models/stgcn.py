@@ -49,6 +49,8 @@ class _STConvBlock(Module):
 class STGCN(ForecastModel):
     """Two ST-Conv blocks followed by a temporal-collapse output layer."""
 
+    requires_adjacency = True
+
     def __init__(
         self,
         num_nodes: int,

@@ -49,6 +49,8 @@ def build_localized_st_adjacency(adjacency: np.ndarray, num_slices: int = 3) -> 
 class STSGCN(ForecastModel):
     """Synchronous spatio-temporal graph convolution over sliding 3-slice windows."""
 
+    requires_adjacency = True
+
     def __init__(
         self,
         num_nodes: int,

@@ -16,6 +16,14 @@ Typical usage::
     server = method.serve(max_batch_size=32, cache_size=4096)
     with server:
         results = server.predict_many(windows)   # list of PredictionResult
+
+Servers can also boot straight from a :class:`~repro.api.Forecaster`
+checkpoint directory and hot-swap models without dropping queued requests::
+
+    server = InferenceServer.from_checkpoint("ckpt/mcdo-dcrnn")
+    with server:
+        ...
+        server.swap_model(new_forecaster, version="v2")  # versioned cache keys
 """
 
 from repro.serving.batching import InferenceRequest, MicroBatcher

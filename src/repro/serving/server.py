@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -77,6 +78,7 @@ class InferenceServer:
         self._requests_served = 0
         self._batches_dispatched = 0
         self._model_windows = 0
+        self._models_swapped = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -110,6 +112,54 @@ class InferenceServer:
         self.stop()
 
     # ------------------------------------------------------------------ #
+    # Model management
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_checkpoint(
+        cls,
+        directory: Union[str, Path],
+        model_version: Optional[str] = None,
+        **kwargs,
+    ) -> "InferenceServer":
+        """Build an (unstarted) server over a :class:`~repro.api.Forecaster` checkpoint.
+
+        The checkpoint directory (written by ``Forecaster.save``) fully
+        describes the model, so serving needs no dataset or training code.
+        ``model_version`` defaults to ``<method>-<backbone>@<dirname>``.
+        """
+        from repro.api import Forecaster
+
+        directory = Path(directory)
+        forecaster = Forecaster.load(directory)
+        version = (
+            model_version
+            if model_version is not None
+            else f"{forecaster.default_version()}@{directory.name}"
+        )
+        return cls(forecaster.predict, model_version=version, **kwargs)
+
+    def swap_model(self, model, version: str) -> str:
+        """Atomically replace the served model; returns the previous version.
+
+        ``model`` is anything with a batch ``predict`` method (a
+        :class:`~repro.api.Forecaster`, a fitted UQ method) or a bare predict
+        function.  Queued requests are never dropped: every batch snapshots
+        one consistent ``(predict_fn, version)`` pair when it starts
+        processing, so in-flight batches finish on whichever model they
+        started with and later batches (and their cache keys) use the new
+        one.  Versioned cache keys mean stale entries can never be served.
+        """
+        predict_fn = model.predict if hasattr(model, "predict") else model
+        if not callable(predict_fn):
+            raise TypeError("swap_model needs a predict function or an object with .predict")
+        with self._lock:
+            previous = self.model_version
+            self.predict_fn = predict_fn
+            self.model_version = str(version)
+            self._models_swapped += 1
+        return previous
+
+    # ------------------------------------------------------------------ #
     # Client API
     # ------------------------------------------------------------------ #
     def submit(self, window: np.ndarray) -> Future:
@@ -139,6 +189,7 @@ class InferenceServer:
                 "requests_served": self._requests_served,
                 "batches_dispatched": self._batches_dispatched,
                 "model_windows": self._model_windows,
+                "models_swapped": self._models_swapped,
                 "mean_batch_size": (
                     self._requests_served / self._batches_dispatched
                     if self._batches_dispatched
@@ -169,8 +220,13 @@ class InferenceServer:
 
     def _process_batch(self, batch: List[InferenceRequest]) -> None:
         try:
+            # One consistent (model, version) snapshot per batch: a concurrent
+            # swap_model() affects later batches, never a batch in flight.
+            with self._lock:
+                predict_fn = self.predict_fn
+                model_version = self.model_version
             keys = [
-                prediction_cache_key(request.window, self.model_version) for request in batch
+                prediction_cache_key(request.window, model_version) for request in batch
             ]
             resolved: Dict[str, PredictionResult] = {}
             if self.cache is not None:
@@ -188,7 +244,7 @@ class InferenceServer:
             if pending_windows:
                 stacked = np.stack(pending_windows, axis=0)
                 with self._predict_lock:
-                    result = self.predict_fn(stacked)
+                    result = predict_fn(stacked)
                 for offset, key in enumerate(pending_keys):
                     # copy(): a plain slice would be a view pinning the whole
                     # batch result in memory for the lifetime of the entry.

@@ -2,24 +2,35 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.inference import PredictionResult
 from repro.core.trainer import TrainingConfig
-from repro.data.datasets import SlidingWindowDataset, TrafficData
+from repro.core.windowing import WindowedForecaster
+from repro.data.datasets import TrafficData
 from repro.data.scalers import StandardScaler
-from repro.models.agcrn import AGCRN
+from repro.models.base import ForecastModel
+from repro.utils.serialization import pack_state_arrays, unpack_state_arrays
 
 
-class UQMethod:
+class UQMethod(WindowedForecaster):
     """Base class: an uncertainty-aware forecaster over a fixed road network.
 
-    Sub-classes set the class attributes ``name``, ``paradigm`` and
-    ``uncertainty_type`` (the Table II taxonomy), implement :meth:`fit`
-    and :meth:`predict`, and typically build their backbone through
-    :meth:`_build_backbone` so every method shares the AGCRN architecture.
+    Sub-classes set the class attributes ``name``, ``paradigm``,
+    ``uncertainty_type`` (the Table II taxonomy) and ``required_heads`` (the
+    decoder heads their loss needs), implement :meth:`fit` and
+    :meth:`predict`, and typically build their backbone through
+    :meth:`_build_backbone`.
+
+    The backbone is configuration, not code: every method defaults to the
+    paper's shared AGCRN architecture, but any name from
+    :data:`repro.models.registry.BACKBONE_INFO` can be requested instead
+    (``backbone="DCRNN"`` plus an ``adjacency`` matrix, for example).
+    Backbones without native head support are wrapped in a
+    :class:`~repro.models.heads.HeadAdapter` so ``required_heads`` is always
+    satisfied.
     """
 
     name: str = "abstract"
@@ -27,55 +38,49 @@ class UQMethod:
     uncertainty_type: str = "none"
     #: Whether the predictive distribution is Gaussian (MNLL is meaningful).
     gaussian_likelihood: bool = True
+    #: Decoder heads the method's loss/predict contract needs.
+    required_heads: Tuple[str, ...] = ("mean",)
 
     def __init__(
         self,
         num_nodes: int,
         config: Optional[TrainingConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        backbone: str = "AGCRN",
+        backbone_kwargs: Optional[Dict[str, Any]] = None,
+        adjacency: Optional[np.ndarray] = None,
     ) -> None:
         self.num_nodes = num_nodes
         self.config = config if config is not None else TrainingConfig()
         self._rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+        self._configure_backbone(backbone, backbone_kwargs, adjacency)
         self.scaler: Optional[StandardScaler] = None
         self.fitted = False
 
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
-    def _build_backbone(self, heads: Tuple[str, ...]) -> AGCRN:
-        """The shared AGCRN base model with the requested output heads."""
-        cfg = self.config
-        return AGCRN(
+    @property
+    def window_config(self) -> TrainingConfig:
+        return self.config
+
+    @property
+    def _display_name(self) -> str:
+        return self.name
+
+    def _build_backbone(self, heads: Optional[Sequence[str]] = None) -> ForecastModel:
+        """The configured base model with the requested (or required) heads."""
+        from repro.models.registry import create_backbone
+
+        return create_backbone(
+            self.backbone_name,
             num_nodes=self.num_nodes,
-            history=cfg.history,
-            horizon=cfg.horizon,
-            hidden_dim=cfg.hidden_dim,
-            embed_dim=cfg.embed_dim,
-            cheb_k=cfg.cheb_k,
-            num_layers=cfg.num_layers,
-            encoder_dropout=cfg.encoder_dropout,
-            decoder_dropout=cfg.decoder_dropout,
-            heads=heads,
+            config=self.config,
+            heads=tuple(heads) if heads is not None else self.required_heads,
+            adjacency=self.adjacency,
             rng=self._rng,
+            **self.backbone_kwargs,
         )
-
-    def _fit_scaler(self, train_data: TrafficData) -> StandardScaler:
-        self.scaler = StandardScaler().fit(train_data.values)
-        return self.scaler
-
-    def _windows(self, data: TrafficData) -> Tuple[np.ndarray, np.ndarray]:
-        dataset = SlidingWindowDataset(data, history=self.config.history, horizon=self.config.horizon)
-        return dataset.arrays()
-
-    def _scale_inputs(self, histories: np.ndarray) -> np.ndarray:
-        if self.scaler is None:
-            raise RuntimeError(f"{self.name} must be fitted before predicting")
-        return self.scaler.transform(np.asarray(histories, dtype=np.float64))
-
-    def _check_fitted(self) -> None:
-        if not self.fitted:
-            raise RuntimeError(f"{self.name} must be fitted before predicting")
 
     # ------------------------------------------------------------------ #
     # Interface
@@ -88,11 +93,6 @@ class UQMethod:
         """Probabilistic forecast for raw history windows (original scale)."""
         raise NotImplementedError
 
-    def predict_on(self, data: TrafficData) -> Tuple[PredictionResult, np.ndarray]:
-        """Forecast every sliding window of ``data``; returns (result, targets)."""
-        inputs, targets = self._windows(data)
-        return self.predict(inputs), targets
-
     def serve(self, model_version: Optional[str] = None, **kwargs):
         """Build an (unstarted) :class:`~repro.serving.InferenceServer` over this method.
 
@@ -104,5 +104,68 @@ class UQMethod:
 
         return serve_method(self, model_version=model_version, **kwargs)
 
+    # ------------------------------------------------------------------ #
+    # Full-state checkpointing
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, Any]:
+        """Everything a fresh instance needs to reproduce :meth:`predict`.
+
+        Returns ``{"meta": <JSON-able scalars>, "arrays": <named ndarrays>}``.
+        The base implementation covers the fitted scaler and the single
+        ``self.model`` backbone; methods with extra inference state
+        (temperature, conformal quantiles, ensemble members, snapshots)
+        extend both parts in their overrides.
+        """
+        self._check_fitted()
+        meta: Dict[str, Any] = {
+            "method": self.name,
+            "backbone": self.backbone_name,
+            "fitted": True,
+        }
+        scaler_state = self._scaler_state()
+        if scaler_state is not None:
+            meta["scaler"] = scaler_state
+        arrays: Dict[str, np.ndarray] = {}
+        model = getattr(self, "model", None)
+        if model is not None:
+            arrays.update(pack_state_arrays("model.", model.state_dict()))
+        return {"meta": meta, "arrays": arrays}
+
+    def set_state(self, state: Dict[str, Any]) -> "UQMethod":
+        """Restore a :meth:`get_state` snapshot into this (configured) instance.
+
+        The instance must have been constructed with the same configuration
+        (heads, backbone, architecture hyper-parameters) as the saved one;
+        the method and backbone names are validated, and weight loading
+        rejects mismatched parameter sets.
+        """
+        meta = state["meta"]
+        arrays = state["arrays"]
+        self._check_saved_method(meta)
+        self._check_saved_backbone(meta)
+        self._restore_scaler(meta.get("scaler"))
+        model_state = unpack_state_arrays("model.", arrays)
+        if model_state:
+            if getattr(self, "model", None) is None:
+                self.model = self._make_model_for_state()
+            self.model.load_state_dict(model_state)
+        self.fitted = bool(meta.get("fitted", True))
+        return self
+
+    def _check_saved_method(self, meta: Dict[str, Any]) -> None:
+        """Reject state snapshots taken by a different UQ method."""
+        if meta.get("method") != self.name:
+            raise ValueError(
+                f"state was saved by method {meta.get('method')!r}, "
+                f"cannot restore into {self.name!r}"
+            )
+
+    def _make_model_for_state(self) -> ForecastModel:
+        """Build the (untrained) model that :meth:`set_state` loads weights into."""
+        return self._build_backbone()
+
     def __repr__(self) -> str:
-        return f"{self.__class__.__name__}(paradigm={self.paradigm!r}, uncertainty={self.uncertainty_type!r})"
+        return (
+            f"{self.__class__.__name__}(paradigm={self.paradigm!r}, "
+            f"uncertainty={self.uncertainty_type!r}, backbone={self.backbone_name!r})"
+        )

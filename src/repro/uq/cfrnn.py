@@ -9,7 +9,7 @@ absolute calibration residuals at that step.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -46,9 +46,18 @@ class CFRNN(UQMethod):
     paradigm = "distribution-free"
     uncertainty_type = "aleatoric"
     gaussian_likelihood = False
+    required_heads = ("mean",)
 
     def __init__(self, *args, significance: float = 0.05, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        # CFRNN's identity *is* its graph-free GRU: it never builds the shared
+        # backbone, so a requested alternative would be silently ignored.
+        if self.backbone_name != "AGCRN":
+            raise ValueError(
+                "CFRNN defines its own graph-free GRU forecaster and does not "
+                f"use the shared backbone; backbone={self.backbone_name!r} is "
+                "not supported (leave the default)"
+            )
         if not 0.0 < significance < 1.0:
             raise ValueError("significance must lie in (0, 1)")
         self.significance = significance
@@ -98,6 +107,26 @@ class CFRNN(UQMethod):
             if was_training:
                 self.model.train()
         return self.scaler.inverse_transform(np.concatenate(chunks, axis=0))
+
+    # ------------------------------------------------------------------ #
+    def _make_model_for_state(self) -> _VectorGRUForecaster:
+        return _VectorGRUForecaster(
+            self.num_nodes,
+            self.config.history,
+            self.config.horizon,
+            hidden_dim=self.config.hidden_dim,
+            rng=self._rng,
+        )
+
+    def get_state(self) -> Dict[str, Any]:
+        state = super().get_state()
+        state["arrays"]["horizon_widths"] = np.asarray(self.horizon_widths)
+        return state
+
+    def set_state(self, state: Dict[str, Any]) -> "CFRNN":
+        super().set_state(state)
+        self.horizon_widths = np.asarray(state["arrays"]["horizon_widths"], dtype=np.float64)
+        return self
 
     def predict(self, histories: np.ndarray) -> PredictionResult:
         self._check_fitted()

@@ -26,10 +26,11 @@ class Combined(UQMethod):
     name = "Combined"
     paradigm = "Bayesian"
     uncertainty_type = "aleatoric + epistemic"
+    required_heads = ("mean", "log_var")
 
     def fit(self, train_data: TrafficData, val_data: TrafficData) -> "Combined":
         self._fit_scaler(train_data)
-        self.model = self._build_backbone(heads=("mean", "log_var"))
+        self.model = self._build_backbone()
         self.trainer = Trainer(
             self.model,
             self.config,

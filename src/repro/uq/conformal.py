@@ -11,6 +11,8 @@ interface by converting the half-width back into a pseudo standard deviation.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import numpy as np
 
 from repro.core.inference import PredictionResult
@@ -51,3 +53,14 @@ class LocallyWeightedConformal(MVE):
         # mean +- 1.96 * std reproduces the conformal interval.
         pseudo_std = self.conformal_quantile * result.aleatoric_std / Z_95
         return result.replace_interval_std(pseudo_std)
+
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, Any]:
+        state = super().get_state()
+        state["meta"]["conformal_quantile"] = self.conformal_quantile
+        return state
+
+    def set_state(self, state: Dict[str, Any]) -> "LocallyWeightedConformal":
+        super().set_state(state)
+        self.conformal_quantile = float(state["meta"]["conformal_quantile"])
+        return self

@@ -9,7 +9,7 @@ pass at roughly the inference cost of a point model.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -27,24 +27,44 @@ class DeepSTUQ(UQMethod):
     name = "DeepSTUQ"
     paradigm = "Bayesian + ensembling"
     uncertainty_type = "aleatoric + epistemic"
+    required_heads = ("mean", "log_var")
 
     def __init__(
         self,
         num_nodes: int,
         config: Optional[TrainingConfig] = None,
-        awa_config: Optional[AWAConfig] = None,
+        awa_config: Optional[Union[AWAConfig, Dict[str, Any]]] = None,
         use_awa: bool = True,
         use_calibration: bool = True,
         rng: Optional[np.random.Generator] = None,
+        backbone: str = "AGCRN",
+        backbone_kwargs: Optional[Dict[str, Any]] = None,
+        adjacency=None,
     ) -> None:
-        super().__init__(num_nodes, config, rng)
+        super().__init__(
+            num_nodes,
+            config,
+            rng,
+            backbone=backbone,
+            backbone_kwargs=backbone_kwargs,
+            adjacency=adjacency,
+        )
+        if isinstance(awa_config, dict):
+            awa_config = AWAConfig(**awa_config)
         pipeline_config = DeepSTUQConfig(
             training=self.config,
             awa=awa_config if awa_config is not None else AWAConfig(),
             use_awa=use_awa,
             use_calibration=use_calibration,
         )
-        self.pipeline = DeepSTUQPipeline(num_nodes, pipeline_config, rng=self._rng)
+        self.pipeline = DeepSTUQPipeline(
+            num_nodes,
+            pipeline_config,
+            rng=self._rng,
+            backbone=self.backbone_name,
+            backbone_kwargs=self.backbone_kwargs,
+            adjacency=self.adjacency,
+        )
 
     @property
     def temperature(self) -> float:
@@ -76,3 +96,18 @@ class DeepSTUQ(UQMethod):
     def predict_single_pass(self, histories: np.ndarray) -> PredictionResult:
         """DeepSTUQ/S: single deterministic forward pass (Table III column)."""
         return self.predict(histories, single_pass=True)
+
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, Any]:
+        """Full pipeline state: backbone weights + scaler + temperature."""
+        self._check_fitted()
+        state = self.pipeline.get_state()
+        state["meta"]["method"] = self.name
+        return state
+
+    def set_state(self, state: Dict[str, Any]) -> "DeepSTUQ":
+        self._check_saved_method(state["meta"])
+        self.pipeline.set_state(state)
+        self.scaler = self.pipeline.scaler
+        self.fitted = self.pipeline.fitted
+        return self

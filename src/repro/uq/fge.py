@@ -10,7 +10,7 @@ re-training removes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -29,6 +29,7 @@ class FGE(UQMethod):
     name = "FGE"
     paradigm = "ensembling"
     uncertainty_type = "epistemic"
+    required_heads = ("mean",)
 
     def __init__(self, *args, num_snapshots: int = 5, cycle_epochs: int = 2, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -40,7 +41,7 @@ class FGE(UQMethod):
 
     def fit(self, train_data: TrafficData, val_data: TrafficData) -> "FGE":
         self._fit_scaler(train_data)
-        self.model = self._build_backbone(heads=("mean",))
+        self.model = self._build_backbone()
         loss_fn = lambda output, target: point_l1_loss(output, target)  # noqa: E731
         self.trainer = Trainer(self.model, self.config, loss_fn, scaler=self.scaler)
         self.trainer.fit(train_data)
@@ -72,6 +73,27 @@ class FGE(UQMethod):
                     optimizer.step()
             self.snapshots.append(self.model.state_dict())
         self.fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, Any]:
+        from repro.utils.serialization import pack_state_arrays
+
+        state = super().get_state()
+        state["meta"]["num_snapshots"] = len(self.snapshots)
+        for index, snapshot in enumerate(self.snapshots):
+            state["arrays"].update(pack_state_arrays(f"snapshots.{index}.", snapshot))
+        return state
+
+    def set_state(self, state: Dict[str, Any]) -> "FGE":
+        from repro.utils.serialization import unpack_state_arrays
+
+        super().set_state(state)
+        count = int(state["meta"]["num_snapshots"])
+        self.snapshots = [
+            unpack_state_arrays(f"snapshots.{index}.", state["arrays"])
+            for index in range(count)
+        ]
         return self
 
     def predict(self, histories: np.ndarray) -> PredictionResult:

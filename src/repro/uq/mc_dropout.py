@@ -27,10 +27,11 @@ class MCDropout(UQMethod):
     name = "MCDO"
     paradigm = "Bayesian"
     uncertainty_type = "epistemic"
+    required_heads = ("mean",)
 
     def fit(self, train_data: TrafficData, val_data: TrafficData) -> "MCDropout":
         self._fit_scaler(train_data)
-        self.model = self._build_backbone(heads=("mean",))
+        self.model = self._build_backbone()
         self.trainer = Trainer(
             self.model,
             self.config,

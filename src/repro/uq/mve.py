@@ -24,10 +24,11 @@ class MVE(UQMethod):
     name = "MVE"
     paradigm = "frequentist"
     uncertainty_type = "aleatoric"
+    required_heads = ("mean", "log_var")
 
     def fit(self, train_data: TrafficData, val_data: TrafficData) -> "MVE":
         self._fit_scaler(train_data)
-        self.model = self._build_backbone(heads=("mean", "log_var"))
+        self.model = self._build_backbone()
         self.trainer = Trainer(
             self.model,
             self.config,

@@ -25,10 +25,11 @@ class PointForecaster(UQMethod):
     paradigm = "deterministic"
     uncertainty_type = "no"
     gaussian_likelihood = False
+    required_heads = ("mean",)
 
     def fit(self, train_data: TrafficData, val_data: TrafficData) -> "PointForecaster":
         self._fit_scaler(train_data)
-        self.model = self._build_backbone(heads=("mean",))
+        self.model = self._build_backbone()
         self.trainer = Trainer(
             self.model,
             self.config,

@@ -33,10 +33,11 @@ class QuantileRegression(UQMethod):
     paradigm = "distribution-free"
     uncertainty_type = "aleatoric"
     gaussian_likelihood = False
+    required_heads = ("lower", "mean", "upper")
 
     def fit(self, train_data: TrafficData, val_data: TrafficData) -> "QuantileRegression":
         self._fit_scaler(train_data)
-        self.model = self._build_backbone(heads=("lower", "mean", "upper"))
+        self.model = self._build_backbone()
         self.trainer = Trainer(
             self.model,
             self.config,

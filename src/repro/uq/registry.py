@@ -78,6 +78,13 @@ def create_method(
     rng: Optional[np.random.Generator] = None,
     **kwargs,
 ) -> UQMethod:
-    """Instantiate a registered method with a shared training configuration."""
+    """Instantiate a registered method with a shared training configuration.
+
+    Besides method-specific options (``num_members``, ``significance``, ...),
+    ``kwargs`` carries the backbone selection shared by every method:
+    ``backbone=`` (a :data:`repro.models.registry.BACKBONE_INFO` name,
+    default AGCRN), ``backbone_kwargs=`` and — for the graph-structured
+    baselines — ``adjacency=``.
+    """
     info = method_info(name)
     return info.factory(num_nodes, config=config, rng=rng, **kwargs)

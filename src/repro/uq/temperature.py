@@ -7,6 +7,8 @@ variance at test time — the "TS" row of Table IV.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import numpy as np
 
 from repro.core.calibration import TemperatureCalibrator
@@ -42,3 +44,16 @@ class TemperatureScaledMVE(MVE):
             aleatoric_var=self.calibrator.calibrate_variance(result.aleatoric_var),
             epistemic_var=result.epistemic_var,
         )
+
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, Any]:
+        state = super().get_state()
+        state["meta"]["temperature"] = self.calibrator.temperature
+        state["meta"]["calibrator_fitted"] = self.calibrator.fitted
+        return state
+
+    def set_state(self, state: Dict[str, Any]) -> "TemperatureScaledMVE":
+        super().set_state(state)
+        self.calibrator.temperature = float(state["meta"]["temperature"])
+        self.calibrator.fitted = bool(state["meta"].get("calibrator_fitted", True))
+        return self

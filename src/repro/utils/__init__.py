@@ -1,7 +1,23 @@
 """Small shared utilities: seeding, checkpointing, table formatting."""
 
 from repro.utils.seed import seed_everything
-from repro.utils.serialization import load_model_weights, save_model_weights
+from repro.utils.serialization import (
+    load_checkpoint,
+    load_model_weights,
+    pack_state_arrays,
+    save_checkpoint,
+    save_model_weights,
+    unpack_state_arrays,
+)
 from repro.utils.tables import format_table
 
-__all__ = ["seed_everything", "save_model_weights", "load_model_weights", "format_table"]
+__all__ = [
+    "seed_everything",
+    "save_model_weights",
+    "load_model_weights",
+    "save_checkpoint",
+    "load_checkpoint",
+    "pack_state_arrays",
+    "unpack_state_arrays",
+    "format_table",
+]

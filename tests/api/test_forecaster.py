@@ -1,0 +1,235 @@
+"""Forecaster facade tests: spec-driven fitting and full-state checkpoints.
+
+The core guarantee: for every registered UQ method, ``save()`` -> ``load()``
+-> ``predict`` is bit-identical to the in-memory forecaster — including the
+scaler statistics, calibration temperature, conformal quantiles, ensemble
+members and FGE snapshots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Forecaster, ForecasterSpec
+from repro.core import TrainingConfig
+from repro.data import SlidingWindowDataset, TrafficData, generate_traffic, train_val_test_split
+from repro.graph import grid_network
+from repro.uq import available_methods, create_method
+
+NUM_NODES = 9
+HISTORY = 4
+HORIZON = 2
+
+TRAINING = {
+    "history": HISTORY, "horizon": HORIZON, "hidden_dim": 6, "embed_dim": 2,
+    "epochs": 2, "batch_size": 64, "mc_samples": 2, "seed": 0,
+}
+
+#: Per-method spec kwargs keeping the expensive methods cheap (JSON-able).
+METHOD_KWARGS = {
+    "FGE": {"num_snapshots": 2, "cycle_epochs": 1},
+    "DeepEnsemble": {"num_members": 2},
+    "DeepSTUQ": {"awa_config": {"epochs": 2}},
+}
+
+
+@pytest.fixture(scope="module")
+def splits():
+    network = grid_network(3, 3)
+    values = generate_traffic(network, 300, seed=5)
+    traffic = TrafficData(name="api-test", values=values, network=network)
+    return train_val_test_split(traffic)
+
+
+@pytest.fixture(scope="module")
+def test_windows(splits):
+    _, _, test = splits
+    dataset = SlidingWindowDataset(test.slice_steps(0, 40), history=HISTORY, horizon=HORIZON)
+    return dataset.arrays()[0]
+
+
+@pytest.fixture(scope="module")
+def fitted(splits):
+    """One fitted facade per registered method (shared across tests)."""
+    train, val, _ = splits
+    forecasters = {}
+    for name in available_methods():
+        spec = ForecasterSpec(
+            method=name, method_kwargs=METHOD_KWARGS.get(name, {}), training=TRAINING
+        )
+        forecasters[name] = Forecaster.from_spec(spec).fit(train, val)
+    return forecasters
+
+
+def _assert_results_identical(a, b):
+    assert np.array_equal(a.mean, b.mean)
+    assert np.array_equal(a.aleatoric_var, b.aleatoric_var)
+    assert np.array_equal(a.epistemic_var, b.epistemic_var)
+
+
+class TestFacade:
+    def test_facade_matches_direct_method(self, splits, test_windows):
+        """Facade fitting is bit-identical to the low-level create_method path."""
+        train, val, _ = splits
+        facade = Forecaster.from_spec({"method": "MVE", "training": TRAINING})
+        facade.fit(train, val)
+        direct = create_method("MVE", NUM_NODES, config=TrainingConfig(**TRAINING))
+        direct.fit(train, val)
+        _assert_results_identical(facade.predict(test_windows), direct.predict(test_windows))
+
+    def test_num_nodes_inferred_from_data(self, fitted):
+        assert fitted["Point"].num_nodes == NUM_NODES
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="must be fitted"):
+            Forecaster.from_spec({"method": "Point"}).predict(np.zeros((1, HISTORY, NUM_NODES)))
+
+    def test_save_before_fit_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="must be fitted"):
+            Forecaster.from_spec({"method": "Point"}).save(tmp_path)
+
+    def test_predict_on(self, fitted, splits):
+        _, _, test = splits
+        result, targets = fitted["MVE"].predict_on(test.slice_steps(0, 40))
+        assert result.mean.shape == targets.shape
+
+    def test_mismatched_num_nodes_rejected(self, splits):
+        train, val, _ = splits
+        forecaster = Forecaster.from_spec({"method": "Point"}, num_nodes=4)
+        with pytest.raises(ValueError, match="nodes"):
+            forecaster.fit(train, val)
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("name", sorted({"Point", "Quantile", "MVE", "MCDO",
+                                             "Combined", "TS", "FGE", "Conformal",
+                                             "CFRNN", "DeepSTUQ", "DeepEnsemble"}))
+    def test_bit_identical_after_reload(self, name, fitted, test_windows, tmp_path):
+        forecaster = fitted[name]
+        directory = tmp_path / name
+        forecaster.save(directory)
+        restored = Forecaster.load(directory)
+        _assert_results_identical(
+            forecaster.predict(test_windows), restored.predict(test_windows)
+        )
+
+    def test_registry_fully_covered(self, fitted):
+        """Every registered method is exercised by the round-trip test above."""
+        assert set(fitted) == set(available_methods())
+
+    def test_scaler_restored_exactly(self, fitted, tmp_path):
+        forecaster = fitted["MVE"]
+        forecaster.save(tmp_path / "mve")
+        restored = Forecaster.load(tmp_path / "mve")
+        assert restored.method.scaler.mean_ == forecaster.method.scaler.mean_
+        assert restored.method.scaler.std_ == forecaster.method.scaler.std_
+
+    def test_temperature_restored_exactly(self, fitted, tmp_path):
+        forecaster = fitted["TS"]
+        forecaster.save(tmp_path / "ts")
+        restored = Forecaster.load(tmp_path / "ts")
+        assert restored.method.calibrator.temperature == forecaster.method.calibrator.temperature
+        assert restored.method.calibrator.fitted
+
+    def test_deepstuq_temperature_restored(self, fitted, tmp_path):
+        forecaster = fitted["DeepSTUQ"]
+        forecaster.save(tmp_path / "deepstuq")
+        restored = Forecaster.load(tmp_path / "deepstuq")
+        assert restored.method.temperature == forecaster.method.temperature
+
+    def test_conformal_quantile_restored(self, fitted, tmp_path):
+        forecaster = fitted["Conformal"]
+        forecaster.save(tmp_path / "conformal")
+        restored = Forecaster.load(tmp_path / "conformal")
+        assert restored.method.conformal_quantile == forecaster.method.conformal_quantile
+
+    def test_ensemble_members_restored(self, fitted, tmp_path):
+        forecaster = fitted["DeepEnsemble"]
+        forecaster.save(tmp_path / "ensemble")
+        restored = Forecaster.load(tmp_path / "ensemble")
+        assert len(restored.method.members) == len(forecaster.method.members)
+        for ours, theirs in zip(forecaster.method.members, restored.method.members):
+            for key, value in ours.state_dict().items():
+                assert np.array_equal(value, theirs.state_dict()[key])
+
+    def test_spec_round_trips_through_checkpoint(self, fitted, tmp_path):
+        forecaster = fitted["MCDO"]
+        forecaster.save(tmp_path / "mcdo")
+        assert Forecaster.load(tmp_path / "mcdo").spec == forecaster.spec
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Forecaster.load(tmp_path / "nope")
+
+
+class TestAlternativeBackbones:
+    def test_dcrnn_mcdo_acceptance_flow(self, splits, test_windows, tmp_path):
+        """The ISSUE acceptance example: DCRNN backbone + MCDO method, flat spec."""
+        train, val, _ = splits
+        forecaster = Forecaster.from_spec(
+            {"backbone": "DCRNN", "method": "MCDO", **TRAINING, "hidden_dim": 6}
+        )
+        forecaster.fit(train, val)
+        forecaster.save(tmp_path / "dcrnn-mcdo")
+        restored = Forecaster.load(tmp_path / "dcrnn-mcdo")
+        _assert_results_identical(
+            forecaster.predict(test_windows), restored.predict(test_windows)
+        )
+        # The adjacency travelled inside the checkpoint, not the dataset.
+        assert restored.adjacency is not None
+        assert np.array_equal(restored.adjacency, train.network.adjacency_matrix())
+
+    def test_stgcn_mve_head_adapter_round_trip(self, splits, test_windows, tmp_path):
+        """A heads-requiring method over a point-only backbone (adapter path)."""
+        train, val, _ = splits
+        forecaster = Forecaster.from_spec(
+            {"backbone": "STGCN", "method": "MVE", "training": TRAINING}
+        )
+        forecaster.fit(train, val)
+        result = forecaster.predict(test_windows)
+        assert np.all(result.aleatoric_var >= 0)
+        forecaster.save(tmp_path / "stgcn-mve")
+        _assert_results_identical(
+            result, Forecaster.load(tmp_path / "stgcn-mve").predict(test_windows)
+        )
+
+    def test_deepstuq_pipeline_over_stgcn(self, splits, test_windows, tmp_path):
+        """The full 3-stage pipeline (AWA + calibration) over a swapped backbone."""
+        train, val, _ = splits
+        forecaster = Forecaster.from_spec({
+            "method": "DeepSTUQ", "backbone": "STGCN",
+            "method_kwargs": {"awa_config": {"epochs": 2}},
+            "training": TRAINING,
+        })
+        forecaster.fit(train, val)
+        assert forecaster.method.temperature > 0
+        forecaster.save(tmp_path / "deepstuq-stgcn")
+        _assert_results_identical(
+            forecaster.predict(test_windows),
+            Forecaster.load(tmp_path / "deepstuq-stgcn").predict(test_windows),
+        )
+
+    def test_untrainable_backbones_rejected_up_front(self):
+        """Naive references have no parameters; methods must refuse them early."""
+        from repro.uq import create_method
+
+        with pytest.raises(ValueError, match="no trainable parameters"):
+            create_method("MCDO", NUM_NODES, backbone="LastValue")
+        with pytest.raises(ValueError, match="no trainable parameters"):
+            Forecaster.from_spec({"method": "Point", "backbone": "HistoricalAverage"},
+                                 num_nodes=NUM_NODES)._build_method()
+
+    def test_cfrnn_rejects_backbone_overrides(self):
+        """CFRNN never uses the shared backbone, so overriding it must fail loudly."""
+        from repro.uq import create_method
+
+        with pytest.raises(ValueError, match="graph-free GRU"):
+            create_method(
+                "CFRNN", NUM_NODES, backbone="DCRNN", adjacency=np.eye(NUM_NODES)
+            )
+
+    def test_adjacency_required_without_dataset(self):
+        forecaster = Forecaster.from_spec(
+            {"backbone": "DCRNN", "method": "Point"}, num_nodes=NUM_NODES
+        )
+        with pytest.raises(RuntimeError, match="adjacency"):
+            forecaster._build_method()

@@ -1,0 +1,70 @@
+"""Tests for the declarative ForecasterSpec."""
+
+import pytest
+
+from repro.api import ForecasterSpec
+from repro.core import TrainingConfig
+
+
+class TestConstruction:
+    def test_defaults(self):
+        spec = ForecasterSpec()
+        assert spec.method == "DeepSTUQ"
+        assert spec.backbone == "AGCRN"
+        assert spec.training == {}
+
+    def test_backbone_alias_canonicalized(self):
+        assert ForecasterSpec(method="Point", backbone="GWN").backbone == "GWNet"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError, match="unknown UQ method"):
+            ForecasterSpec(method="Oracle")
+
+    def test_unknown_backbone_rejected(self):
+        with pytest.raises(KeyError, match="unknown backbone"):
+            ForecasterSpec(backbone="Transformer")
+
+    def test_unknown_training_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown training fields"):
+            ForecasterSpec(training={"warmup": 5})
+
+    def test_training_config_materialization(self):
+        spec = ForecasterSpec(training={"epochs": 3, "history": 6})
+        config = spec.training_config()
+        assert isinstance(config, TrainingConfig)
+        assert config.epochs == 3 and config.history == 6
+        assert config.horizon == TrainingConfig().horizon  # untouched default
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        spec = ForecasterSpec(
+            method="MCDO",
+            backbone="DCRNN",
+            method_kwargs={},
+            backbone_kwargs={"hidden_dim": 8},
+            training={"epochs": 2, "seed": 7},
+        )
+        assert ForecasterSpec.from_json(spec.to_json()) == spec
+
+    def test_dict_round_trip(self):
+        spec = ForecasterSpec(method="DeepEnsemble", method_kwargs={"num_members": 2})
+        assert ForecasterSpec.from_dict(spec.to_dict()) == spec
+
+    def test_flat_training_keys_folded(self):
+        spec = ForecasterSpec.from_dict(
+            {"method": "MVE", "backbone": "AGCRN", "epochs": 4, "history": 6}
+        )
+        assert spec.training == {"epochs": 4, "history": 6}
+
+    def test_flat_and_nested_training_merge(self):
+        spec = ForecasterSpec.from_dict({"training": {"epochs": 4}, "seed": 9})
+        assert spec.training == {"epochs": 4, "seed": 9}
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec keys"):
+            ForecasterSpec.from_dict({"method": "MVE", "optimizer_name": "adam"})
+
+    def test_from_dict_passthrough(self):
+        spec = ForecasterSpec(method="Point")
+        assert ForecasterSpec.from_dict(spec) is spec

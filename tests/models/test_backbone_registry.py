@@ -1,0 +1,135 @@
+"""Tests for the backbone registry and the head adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig
+from repro.graph import grid_network
+from repro.models import (
+    AGCRN,
+    BACKBONE_INFO,
+    HeadAdapter,
+    available_backbones,
+    backbone_info,
+    create_backbone,
+)
+
+NUM_NODES = 9
+CONFIG = TrainingConfig(history=4, horizon=2, hidden_dim=6, embed_dim=2, epochs=1)
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return grid_network(3, 3).adjacency_matrix()
+
+
+class TestRegistry:
+    def test_all_backbones_registered(self):
+        expected = {
+            "AGCRN", "DCRNN", "GWNet", "STGCN", "ASTGCN", "STSGCN", "STFGNN",
+            "LastValue", "HistoricalAverage",
+        }
+        assert expected == set(available_backbones())
+
+    def test_aliases_resolve(self):
+        assert backbone_info("GWN").name == "GWNet"
+        assert backbone_info("GraphWaveNet").name == "GWNet"
+
+    def test_unknown_backbone(self):
+        with pytest.raises(KeyError, match="unknown backbone"):
+            backbone_info("Transformer")
+
+    def test_requires_adjacency_matches_model_attribute(self):
+        for name, info in BACKBONE_INFO.items():
+            model = create_backbone(
+                name, NUM_NODES, config=CONFIG,
+                adjacency=np.eye(NUM_NODES) if info.requires_adjacency else None,
+                rng=np.random.default_rng(0),
+            )
+            assert model.requires_adjacency == info.requires_adjacency, name
+
+    def test_missing_adjacency_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="adjacency"):
+            create_backbone("DCRNN", NUM_NODES, config=CONFIG)
+
+    def test_only_agcrn_supports_native_heads(self):
+        natives = [name for name, info in BACKBONE_INFO.items() if info.supports_heads]
+        assert natives == ["AGCRN"]
+
+
+class TestCreateBackbone:
+    def test_agcrn_matches_direct_construction(self):
+        """The registry path must be bit-identical to the historical direct call."""
+        built = create_backbone(
+            "AGCRN", NUM_NODES, config=CONFIG,
+            heads=("mean", "log_var"), rng=np.random.default_rng(42),
+        )
+        direct = AGCRN(
+            num_nodes=NUM_NODES, history=CONFIG.history, horizon=CONFIG.horizon,
+            hidden_dim=CONFIG.hidden_dim, embed_dim=CONFIG.embed_dim,
+            cheb_k=CONFIG.cheb_k, num_layers=CONFIG.num_layers,
+            encoder_dropout=CONFIG.encoder_dropout, decoder_dropout=CONFIG.decoder_dropout,
+            heads=("mean", "log_var"), rng=np.random.default_rng(42),
+        )
+        built_state, direct_state = built.state_dict(), direct.state_dict()
+        assert set(built_state) == set(direct_state)
+        for name in built_state:
+            assert np.array_equal(built_state[name], direct_state[name]), name
+
+    @pytest.mark.parametrize("name", sorted(BACKBONE_INFO))
+    def test_every_backbone_forwards(self, name, adjacency):
+        model = create_backbone(
+            name, NUM_NODES, config=CONFIG, adjacency=adjacency,
+            rng=np.random.default_rng(0),
+        )
+        output = model.predict(np.zeros((3, CONFIG.history, NUM_NODES)))
+        assert output.shape == (3, CONFIG.horizon, NUM_NODES)
+
+    @pytest.mark.parametrize("name", ["DCRNN", "STGCN", "LastValue"])
+    def test_head_adapter_wraps_point_backbones(self, name, adjacency):
+        model = create_backbone(
+            name, NUM_NODES, config=CONFIG, heads=("mean", "log_var"),
+            adjacency=adjacency, rng=np.random.default_rng(0),
+        )
+        assert isinstance(model, HeadAdapter)
+        model.eval()
+        output = model(np.zeros((2, CONFIG.history, NUM_NODES)))
+        assert set(output) == {"mean", "log_var"}
+        for head in output.values():
+            assert head.shape == (2, CONFIG.horizon, NUM_NODES)
+
+    def test_adapter_preserves_backbone_mean(self, adjacency):
+        """The adapter's mean head is the wrapped backbone's forecast, untouched."""
+        bare = create_backbone(
+            "STGCN", NUM_NODES, config=CONFIG, adjacency=adjacency,
+            rng=np.random.default_rng(3),
+        )
+        adapted = create_backbone(
+            "STGCN", NUM_NODES, config=CONFIG, heads=("mean", "log_var"),
+            adjacency=adjacency, rng=np.random.default_rng(3),
+        )
+        inputs = np.random.default_rng(9).normal(size=(4, CONFIG.history, NUM_NODES))
+        assert np.array_equal(bare.predict(inputs), adapted.predict(inputs))
+
+    def test_adapter_quantile_heads(self, adjacency):
+        model = create_backbone(
+            "GWNet", NUM_NODES, config=CONFIG, heads=("lower", "mean", "upper"),
+            adjacency=adjacency, rng=np.random.default_rng(0),
+        )
+        model.eval()
+        output = model(np.zeros((2, CONFIG.history, NUM_NODES)))
+        assert set(output) == {"lower", "mean", "upper"}
+
+    def test_adapter_rejects_headless_requests(self, adjacency):
+        with pytest.raises(ValueError, match="mean"):
+            HeadAdapter(
+                create_backbone("STGCN", NUM_NODES, config=CONFIG, adjacency=adjacency),
+                heads=("log_var",),
+            )
+
+    def test_backbone_kwargs_forwarded(self):
+        model = create_backbone(
+            "AGCRN", NUM_NODES, config=CONFIG, num_layers=2,
+            rng=np.random.default_rng(0),
+        )
+        assert model.num_layers == 2

@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.utils import format_table, load_model_weights, save_model_weights, seed_everything
+from repro.utils import (
+    format_table,
+    load_checkpoint,
+    load_model_weights,
+    pack_state_arrays,
+    save_checkpoint,
+    save_model_weights,
+    seed_everything,
+    unpack_state_arrays,
+)
 
 
 class TestSeed:
@@ -35,6 +44,67 @@ class TestSerialization:
         model = nn.Linear(2, 2)
         path = save_model_weights(model, tmp_path / "deep" / "nested" / "model.npz")
         assert path.exists()
+
+    def test_mismatched_architecture_lists_parameter_names(self, tmp_path):
+        """A wrong-architecture checkpoint names the offending parameters."""
+        path = save_model_weights(nn.Linear(4, 3), tmp_path / "linear.npz")
+        gru = nn.GRU(4, 3)
+        with pytest.raises(ValueError) as excinfo:
+            load_model_weights(gru, path)
+        message = str(excinfo.value)
+        assert "does not match the GRU architecture" in message
+        assert "missing parameters" in message and "unexpected parameters" in message
+        # The checkpoint's Linear parameters are reported as unexpected.
+        assert "weight" in message and "bias" in message
+
+    def test_shape_mismatch_rejected_before_any_write(self, tmp_path):
+        """Same names, different widths: rejected up front, model untouched."""
+        path = save_model_weights(nn.Linear(4, 3), tmp_path / "narrow.npz")
+        wide = nn.Linear(4, 5)
+        before = {k: v.copy() for k, v in wide.state_dict().items()}
+        with pytest.raises(ValueError, match="shape mismatches"):
+            load_model_weights(wide, path)
+        after = wide.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_mismatch_leaves_model_untouched(self, tmp_path):
+        path = save_model_weights(nn.Linear(4, 3), tmp_path / "linear.npz")
+        target = nn.GRU(4, 3)
+        before = {k: v.copy() for k, v in target.state_dict().items()}
+        with pytest.raises(ValueError):
+            load_model_weights(target, path)
+        after = target.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+
+class TestStateArrays:
+    def test_pack_unpack_round_trip(self):
+        state = {"weight": np.ones((2, 2)), "bias": np.zeros(2)}
+        packed = pack_state_arrays("model.", state)
+        assert set(packed) == {"model.weight", "model.bias"}
+        unpacked = unpack_state_arrays("model.", packed)
+        assert all(np.array_equal(state[k], unpacked[k]) for k in state)
+
+    def test_numbered_prefixes_do_not_collide(self):
+        arrays = {}
+        arrays.update(pack_state_arrays("members.1.", {"w": np.full(2, 1.0)}))
+        arrays.update(pack_state_arrays("members.10.", {"w": np.full(2, 10.0)}))
+        assert np.all(unpack_state_arrays("members.1.", arrays)["w"] == 1.0)
+        assert np.all(unpack_state_arrays("members.10.", arrays)["w"] == 10.0)
+
+
+class TestDirectoryCheckpoints:
+    def test_round_trip(self, tmp_path):
+        meta = {"format_version": 1, "spec": {"method": "MVE"}}
+        arrays = {"model.weight": np.arange(6.0).reshape(2, 3)}
+        save_checkpoint(tmp_path / "ckpt", meta, arrays)
+        loaded_meta, loaded_arrays = load_checkpoint(tmp_path / "ckpt")
+        assert loaded_meta == meta
+        assert np.array_equal(loaded_arrays["model.weight"], arrays["model.weight"])
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="not a checkpoint directory"):
+            load_checkpoint(tmp_path / "absent")
 
 
 class TestFormatTable:
