@@ -1,0 +1,102 @@
+"""Streaming-loop throughput: predict + observe steps/second.
+
+Times the full online loop — pending-forecast resolution, per-horizon ACI
+updates, rolling monitors, drift detectors, forecast + interval emission —
+over a persistence predictor whose own cost is negligible, so the number is
+the overhead ceiling the ``repro.streaming`` runner imposes on any model.
+
+Swept over calibration modes (static / rolling / aci) and a detector-laden
+configuration; results land in ``benchmarks/results/streaming_throughput.txt``
+so regressions are visible in review.
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import StreamingTrafficFeed
+from repro.evaluation import format_rows
+from repro.graph import grid_network
+from repro.streaming import (
+    CoverageBreachDetector,
+    ErrorCusumDetector,
+    PersistenceForecaster,
+    StreamingForecaster,
+)
+
+HISTORY, HORIZON = 12, 12
+STEPS = 600
+#: Regression gate: the runner must sustain at least this many steps/sec.
+MIN_STEPS_PER_SEC = 100.0
+
+
+def _feed(num_steps=STEPS):
+    return StreamingTrafficFeed(grid_network(3, 3), num_steps=num_steps, seed=0)
+
+
+def _time_runner(**runner_kwargs):
+    feed = _feed()
+    runner = StreamingForecaster(
+        PersistenceForecaster(horizon=HORIZON, sigma=20.0),
+        history=HISTORY,
+        horizon=HORIZON,
+        **runner_kwargs,
+    )
+    rows = list(feed)
+    start = time.perf_counter()
+    for row in rows:
+        runner.observe(row)
+    elapsed = time.perf_counter() - start
+    return STEPS / elapsed
+
+
+def run_streaming_throughput():
+    results = []
+    for mode in ("static", "rolling", "aci"):
+        rate = _time_runner(aci={"mode": mode, "window": 2000}, detectors=[])
+        results.append({"configuration": f"{mode}, no detectors", "steps/s": round(rate, 1)})
+    rate = _time_runner(
+        aci={"mode": "aci", "window": 2000},
+        detectors=[
+            CoverageBreachDetector(nominal=0.95, tolerance=0.05),
+            ErrorCusumDetector(),
+        ],
+    )
+    results.append({"configuration": "aci + both detectors", "steps/s": round(rate, 1)})
+
+    # NaN-heavy partial observations exercise the masking path.
+    feed = _feed()
+    values = feed.values.copy()
+    rng = np.random.default_rng(1)
+    values[rng.random(values.shape) < 0.3] = np.nan
+    runner = StreamingForecaster(
+        PersistenceForecaster(horizon=HORIZON, sigma=20.0),
+        history=HISTORY, horizon=HORIZON,
+        aci={"mode": "aci", "window": 2000}, detectors=[],
+    )
+    start = time.perf_counter()
+    for row in values:
+        runner.observe(row)
+    results.append(
+        {
+            "configuration": "aci, 30% sensors NaN",
+            "steps/s": round(STEPS / (time.perf_counter() - start), 1),
+        }
+    )
+    return results
+
+
+def test_streaming_throughput(benchmark, save_result):
+    rows = benchmark.pedantic(run_streaming_throughput, rounds=1, iterations=1)
+    text = format_rows(
+        rows,
+        title=(
+            f"Streaming loop throughput (predict+observe, horizon {HORIZON}, "
+            f"9 nodes, {STEPS} steps)"
+        ),
+    )
+    save_result("streaming_throughput", text)
+    # Regression gate: the online loop must stay comfortably real-time
+    # (5-minute traffic data needs ~0.003 steps/s; we demand 100).
+    for row in rows:
+        assert row["steps/s"] >= MIN_STEPS_PER_SEC, row

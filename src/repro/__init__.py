@@ -17,6 +17,8 @@ A Unified Approach" (ICDE 2023).  It contains:
   harness regenerating every table and figure of the paper.
 * ``repro.serving`` — request micro-batching, LRU prediction caching and a
   threaded inference server over the vectorized Monte-Carlo engine.
+* ``repro.streaming`` — the online loop: adaptive conformal calibration,
+  rolling monitors, drift detection and auto-recalibrating serving.
 * ``repro.api`` — the unified Forecaster facade: declarative
   (backbone x method x config) specs, one fit/predict surface and
   full-state directory checkpoints.
@@ -36,6 +38,7 @@ __all__ = [
     "metrics",
     "evaluation",
     "serving",
+    "streaming",
     "api",
     "utils",
 ]

@@ -66,6 +66,7 @@ class Forecaster:
         )
         self._rng = rng
         self.method: Optional[UQMethod] = None
+        self._stream = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -155,6 +156,31 @@ class Forecaster:
     def default_version(self) -> str:
         """Stable default serving version derived from the spec."""
         return f"{self.spec.method}-{self.spec.backbone}"
+
+    # ------------------------------------------------------------------ #
+    # Online / streaming operation
+    # ------------------------------------------------------------------ #
+    def stream(self, **kwargs):
+        """Open an online forecasting loop over this fitted model.
+
+        Builds (and remembers) a
+        :class:`~repro.streaming.StreamingForecaster` that drives
+        predict → observe → update with adaptive conformal calibration and
+        drift detection; keyword arguments configure it (``aci=``,
+        ``detectors=``, ``server=``, ``refit_fn=``, ...).  Feed observations
+        either through the returned runner or via :meth:`observe`.
+        """
+        self._check_fitted()
+        from repro.streaming import StreamingForecaster
+
+        self._stream = StreamingForecaster(self, **kwargs)
+        return self._stream
+
+    def observe(self, observation: np.ndarray, mask: Optional[np.ndarray] = None):
+        """Ingest one observation row into the active :meth:`stream` loop."""
+        if self._stream is None:
+            raise RuntimeError("no active stream; call stream() first")
+        return self._stream.observe(observation, mask=mask)
 
     # ------------------------------------------------------------------ #
     # Full-state checkpoints

@@ -8,7 +8,12 @@ and uncertainty-quantification methods rely on (see DESIGN.md, substitution
 table).
 """
 
-from repro.data.synthetic import SyntheticTrafficConfig, generate_traffic
+from repro.data.synthetic import (
+    StreamScenarioEvent,
+    StreamingTrafficFeed,
+    SyntheticTrafficConfig,
+    generate_traffic,
+)
 from repro.data.pems import (
     DATASET_SPECS,
     DatasetSpec,
@@ -22,6 +27,8 @@ from repro.data.dataloader import DataLoader
 __all__ = [
     "SyntheticTrafficConfig",
     "generate_traffic",
+    "StreamScenarioEvent",
+    "StreamingTrafficFeed",
     "DatasetSpec",
     "DATASET_SPECS",
     "available_datasets",

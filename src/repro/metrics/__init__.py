@@ -9,10 +9,13 @@ coverage-width criterion) used by the extension benchmarks.
 
 from repro.metrics.point import mae, mape, point_metrics, rmse
 from repro.metrics.uncertainty import (
+    Z_95,
+    conformal_quantile_level,
     coverage_width_criterion,
     interval_bounds,
     mnll,
     mpiw,
+    norm_ppf,
     picp,
     uncertainty_metrics,
     winkler_score,
@@ -27,6 +30,9 @@ __all__ = [
     "mnll",
     "picp",
     "mpiw",
+    "norm_ppf",
+    "Z_95",
+    "conformal_quantile_level",
     "interval_bounds",
     "winkler_score",
     "coverage_width_criterion",

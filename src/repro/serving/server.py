@@ -48,9 +48,10 @@ class InferenceServer:
     num_workers:
         Thread-pool width for batch post-processing (hashing, cache fills,
         future resolution).  Model forward passes themselves are serialized
-        behind a lock regardless: the substrate's dropout/MC toggles and the
-        global grad-mode flag are process-wide state, so concurrent forwards
-        over a shared model would race on them.
+        behind a lock regardless: the substrate's dropout/MC toggles live on
+        the shared module objects, so concurrent forwards over one model
+        would race on them.  (Grad mode is thread-local and is *not* part of
+        this constraint.)
     """
 
     def __init__(

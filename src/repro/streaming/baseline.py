@@ -1,0 +1,63 @@
+"""Model-free baseline predictors for the streaming loop.
+
+The streaming runner only needs an object with a batch ``predict`` returning
+a :class:`~repro.core.inference.PredictionResult` — usually a fitted
+:class:`~repro.api.Forecaster`, but the throughput benchmark, the dashboard
+demo and the unit tests want a predictor whose cost is negligible next to
+the runner/ACI/monitor machinery being measured.  :class:`PersistenceForecaster`
+is that predictor: it repeats the last observed row across the horizon and
+reports a constant predictive scale, which the adaptive conformal layer then
+re-widths online.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.core.inference import PredictionResult
+
+
+class PersistenceForecaster:
+    """Repeat-the-last-observation forecaster with a fixed predictive scale.
+
+    Parameters
+    ----------
+    horizon:
+        Number of steps ahead each forecast covers.
+    sigma:
+        Predictive standard deviation reported for every entry — a scalar or
+        a per-node array.  The adaptive conformal calibrator rescales it, so
+        its absolute level only sets the starting interval width.
+    """
+
+    name = "Persistence"
+
+    def __init__(self, horizon: int, sigma: Union[float, np.ndarray] = 1.0) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = int(horizon)
+        self.sigma = np.asarray(sigma, dtype=np.float64)
+        if np.any(self.sigma <= 0.0):
+            raise ValueError("sigma must be positive")
+        self.fitted = True
+
+    def predict(self, histories: np.ndarray) -> PredictionResult:
+        """Forecast ``(batch, history, nodes)`` windows by persistence."""
+        histories = np.asarray(histories, dtype=np.float64)
+        if histories.ndim != 3:
+            raise ValueError(
+                f"expected (batch, history, nodes) windows, got {histories.shape}"
+            )
+        last = histories[:, -1:, :]                       # (B, 1, N)
+        mean = np.repeat(last, self.horizon, axis=1)      # (B, H, N)
+        variance = np.broadcast_to(self.sigma ** 2, mean.shape).astype(np.float64).copy()
+        return PredictionResult(
+            mean=mean,
+            aleatoric_var=variance,
+            epistemic_var=np.zeros_like(mean),
+        )
+
+    def __repr__(self) -> str:
+        return f"PersistenceForecaster(horizon={self.horizon})"

@@ -1,0 +1,211 @@
+"""Drift detection over the streaming metric signals.
+
+Two complementary detectors watch the online loop:
+
+* :class:`CoverageBreachDetector` — a *calibration* alarm: when the rolling
+  empirical coverage stays below the nominal level minus a tolerance for
+  ``patience`` consecutive scored steps, the conformal state no longer
+  matches the stream.
+* :class:`ErrorCusumDetector` — an *accuracy* alarm: a one-sided CUSUM on
+  standardized absolute errors (baseline mean/std estimated online during a
+  warm-up phase, Welford's algorithm, then frozen) accumulates evidence of a
+  sustained error-level increase and fires when the statistic crosses the
+  decision threshold.
+
+Both emit typed :class:`DriftEvent` records and re-arm after a firing, so a
+long-lived stream produces a clean, timestamped event log rather than a
+boolean flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.streaming.monitor import RollingStat
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One detector firing (or lifecycle notification) on the stream."""
+
+    kind: str          # "coverage_breach" | "error_cusum" | runner lifecycle kinds
+    step: int          # stream step index at which the event fired
+    value: float       # the statistic that crossed the threshold
+    threshold: float   # the decision threshold it crossed
+    message: str = ""
+
+    def __str__(self) -> str:
+        text = f"[step {self.step}] {self.kind}: value={self.value:.4g} threshold={self.threshold:.4g}"
+        return f"{text} — {self.message}" if self.message else text
+
+
+class CoverageBreachDetector:
+    """Fires when rolling coverage stays below ``nominal - tolerance``.
+
+    Parameters
+    ----------
+    nominal:
+        Target coverage as a fraction (0.95 for 95% intervals).
+    tolerance:
+        Allowed slack below nominal before a step counts as breached.
+    window:
+        Rolling window (in scored steps) the coverage is estimated over.
+    patience:
+        Consecutive breached steps required before the event fires —
+        a debounce so single noisy steps cannot trigger recalibration.
+    warmup:
+        Scored steps to observe before breaches start counting.
+    """
+
+    kind = "coverage_breach"
+    signal = "coverage"
+
+    def __init__(
+        self,
+        nominal: float = 0.95,
+        tolerance: float = 0.05,
+        window: int = 100,
+        patience: int = 20,
+        warmup: int = 50,
+    ) -> None:
+        if not 0.0 < nominal < 1.0:
+            raise ValueError("nominal must lie in (0, 1)")
+        if tolerance <= 0.0 or patience < 1:
+            raise ValueError("tolerance must be positive and patience >= 1")
+        self.nominal = float(nominal)
+        self.tolerance = float(tolerance)
+        self.patience = int(patience)
+        self.warmup = int(warmup)
+        self._coverage = RollingStat(window)
+        self._breached_steps = 0
+
+    @property
+    def rolling_coverage(self) -> float:
+        return self._coverage.mean
+
+    def update(self, step: int, covered_fraction: Optional[float]) -> Optional[DriftEvent]:
+        """Fold one step's covered fraction in; returns an event if it fires."""
+        if covered_fraction is None:
+            return None
+        self._coverage.push(float(covered_fraction))
+        if self._coverage.count < max(self.warmup, 1):
+            return None
+        coverage = self._coverage.mean
+        threshold = self.nominal - self.tolerance
+        if coverage < threshold:
+            self._breached_steps += 1
+        else:
+            self._breached_steps = 0
+        if self._breached_steps >= self.patience:
+            self._breached_steps = 0
+            return DriftEvent(
+                kind=self.kind,
+                step=int(step),
+                value=coverage,
+                threshold=threshold,
+                message=(
+                    f"rolling coverage {coverage * 100.0:.1f}% stayed below "
+                    f"{threshold * 100.0:.1f}% for {self.patience} steps"
+                ),
+            )
+        return None
+
+    def reset(self) -> None:
+        self._coverage.reset()
+        self._breached_steps = 0
+
+
+class ErrorCusumDetector:
+    """One-sided CUSUM on standardized absolute forecast errors.
+
+    During the first ``warmup`` updates the detector estimates the baseline
+    error mean and standard deviation with Welford's online algorithm; the
+    baseline is then frozen and each subsequent step contributes
+    ``z_t = (err_t - mean) / std`` to the statistic
+    ``S_t = max(0, S_{t-1} + z_t - slack)``.  Crossing ``threshold`` fires a
+    :class:`DriftEvent` and resets ``S`` (the baseline stays frozen, so a
+    persistent shift keeps re-firing until the model is recalibrated).
+    """
+
+    kind = "error_cusum"
+    signal = "abs_error"
+
+    def __init__(self, slack: float = 0.5, threshold: float = 8.0, warmup: int = 100) -> None:
+        if threshold <= 0.0 or warmup < 2:
+            raise ValueError("threshold must be positive and warmup >= 2")
+        self.slack = float(slack)
+        self.threshold = float(threshold)
+        self.warmup = int(warmup)
+        self.statistic = 0.0
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    @property
+    def baseline(self) -> tuple:
+        """Estimated ``(mean, std)`` of the warm-up error level."""
+        if self._n < 2:
+            return (float("nan"), float("nan"))
+        return (self._mean, float(np.sqrt(self._m2 / (self._n - 1))))
+
+    def update(self, step: int, abs_error: Optional[float]) -> Optional[DriftEvent]:
+        """Fold one step's mean absolute error in; returns an event if it fires."""
+        if abs_error is None or not np.isfinite(abs_error):
+            return None
+        error = float(abs_error)
+        if self._n < self.warmup:
+            # Welford baseline estimation.
+            self._n += 1
+            delta = error - self._mean
+            self._mean += delta / self._n
+            self._m2 += delta * (error - self._mean)
+            return None
+        _, std = self.baseline
+        if not np.isfinite(std) or std <= 1e-12:
+            std = max(abs(self._mean), 1e-12)
+        z = (error - self._mean) / std
+        self.statistic = max(0.0, self.statistic + z - self.slack)
+        if self.statistic > self.threshold:
+            value = self.statistic
+            self.statistic = 0.0
+            return DriftEvent(
+                kind=self.kind,
+                step=int(step),
+                value=value,
+                threshold=self.threshold,
+                message=(
+                    f"error CUSUM {value:.2f} crossed {self.threshold:.2f} "
+                    f"(baseline MAE {self._mean:.3f} ± {std:.3f})"
+                ),
+            )
+        return None
+
+    def reset(self, keep_baseline: bool = True) -> None:
+        self.statistic = 0.0
+        if not keep_baseline:
+            self._n = 0
+            self._mean = 0.0
+            self._m2 = 0.0
+
+
+@dataclass
+class EventLog:
+    """Append-only, thread-friendly record of stream events."""
+
+    events: List[DriftEvent] = field(default_factory=list)
+
+    def append(self, event: DriftEvent) -> DriftEvent:
+        self.events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> List[DriftEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

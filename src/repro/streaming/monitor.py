@@ -1,0 +1,166 @@
+"""O(1) rolling-window online metrics for the streaming loop.
+
+A live forecasting loop needs per-step answers to "how well calibrated are we
+*right now*?" without re-scanning history.  :class:`RollingStat` keeps a
+fixed-capacity ring buffer plus a running sum, so pushing a value and reading
+the rolling mean are both O(1); :class:`StreamingMonitor` composes several of
+them into the online analogue of the batch Table IV metrics — coverage, mean
+interval width, MAE, RMSE and the Winkler score — over the last ``window``
+observed steps.
+
+Partial observations are first-class: every update takes a validity mask
+(NaN-masked sensors are simply excluded from that step's statistics), and a
+step with no valid entry at all leaves the window untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+class RollingStat:
+    """Ring buffer with an O(1) running mean over the last ``window`` pushes."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._values = np.zeros(self.window, dtype=np.float64)
+        self._pos = 0
+        self._count = 0
+        self._sum = 0.0
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if self._count == self.window:
+            self._sum -= self._values[self._pos]
+        else:
+            self._count += 1
+        self._values[self._pos] = value
+        self._sum += value
+        self._pos = (self._pos + 1) % self.window
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            return float("nan")
+        return self._sum / self._count
+
+    def reset(self) -> None:
+        self._values[:] = 0.0
+        self._pos = 0
+        self._count = 0
+        self._sum = 0.0
+
+    def values(self) -> np.ndarray:
+        """The buffered values, oldest first (a copy)."""
+        if self._count < self.window:
+            return self._values[: self._count].copy()
+        return np.concatenate(
+            [self._values[self._pos :], self._values[: self._pos]]
+        )
+
+
+class StreamingMonitor:
+    """Online coverage / width / error tracking over a rolling step window.
+
+    Each :meth:`update` scores one batch of aligned (target, forecast,
+    interval) rows — typically every horizon row that the newest observation
+    resolved — and pushes that step's per-entry means into the ring buffers.
+    :meth:`snapshot` then reads the rolling metrics in O(1).
+
+    Parameters
+    ----------
+    window:
+        Number of most recent steps the metrics aggregate over.
+    significance:
+        Interval miscoverage level used by the Winkler score penalty.
+    """
+
+    def __init__(self, window: int = 288, significance: float = 0.05) -> None:
+        if not 0.0 < significance < 1.0:
+            raise ValueError("significance must lie in (0, 1)")
+        self.window = int(window)
+        self.significance = float(significance)
+        self._covered = RollingStat(window)
+        self._width = RollingStat(window)
+        self._abs_error = RollingStat(window)
+        self._sq_error = RollingStat(window)
+        self._winkler = RollingStat(window)
+        self.steps = 0
+
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        target: np.ndarray,
+        mean: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> Optional[float]:
+        """Score one step's resolved forecasts; returns the step's coverage.
+
+        All arrays must share a shape; ``mask`` marks valid entries (defaults
+        to ``isfinite(target)``, so NaN-masked sensors drop out).  Returns the
+        fraction of valid entries covered, or ``None`` when nothing was valid.
+        """
+        target = np.asarray(target, dtype=np.float64)
+        mean = np.asarray(mean, dtype=np.float64)
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        if mask is None:
+            mask = np.isfinite(target)
+        else:
+            mask = np.asarray(mask, dtype=bool) & np.isfinite(target)
+        self.steps += 1
+        if not mask.any():
+            return None
+        t, m = target[mask], mean[mask]
+        lo, up = lower[mask], upper[mask]
+        covered = float(np.mean((t >= lo) & (t <= up)))
+        width = up - lo
+        below = (lo - t) * (t < lo)
+        above = (t - up) * (t > up)
+        winkler = float(np.mean(width + (2.0 / self.significance) * (below + above)))
+        error = t - m
+        self._covered.push(covered)
+        self._width.push(float(np.mean(width)))
+        self._abs_error.push(float(np.mean(np.abs(error))))
+        self._sq_error.push(float(np.mean(error ** 2)))
+        self._winkler.push(winkler)
+        return covered
+
+    # ------------------------------------------------------------------ #
+    @property
+    def coverage(self) -> float:
+        """Rolling-window coverage, in percent (NaN before any update)."""
+        return self._covered.mean * 100.0
+
+    @property
+    def mean_width(self) -> float:
+        return self._width.mean
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The rolling metric bundle: online PICP / MPIW / MAE / RMSE / Winkler."""
+        mse = self._sq_error.mean
+        return {
+            "coverage": self.coverage,
+            "mean_width": self._width.mean,
+            "mae": self._abs_error.mean,
+            "rmse": float(np.sqrt(mse)) if np.isfinite(mse) else float("nan"),
+            "winkler": self._winkler.mean,
+            "window": self.window,
+            "scored_steps": self._covered.count,
+            "steps": self.steps,
+        }
+
+    def reset(self) -> None:
+        for stat in (self._covered, self._width, self._abs_error, self._sq_error, self._winkler):
+            stat.reset()
+        self.steps = 0

@@ -1,0 +1,454 @@
+"""The online forecasting loop: predict → observe → update → (re)calibrate.
+
+:class:`StreamingForecaster` turns a fitted batch forecaster into a live
+system.  Each call to :meth:`observe` ingests one observation row (NaN
+entries mark dropped-out sensors) and
+
+1. **resolves** every pending forecast the new observation completes — the
+   prediction made ``h+1`` steps ago forecast this step at horizon index
+   ``h`` — feeding the rolling :class:`~repro.streaming.monitor.StreamingMonitor`
+   and the per-horizon
+   :class:`~repro.streaming.aci.AdaptiveConformalCalibrator`;
+2. **detects drift** by routing the step's coverage / error signals through
+   the configured detectors;
+3. on drift, **recalibrates**: the nonconformity buffers are rebuilt from
+   post-drift data and, when a ``refit_fn`` is configured, a replacement
+   model is fitted (in a background thread by default) and published through
+   :meth:`~repro.serving.server.InferenceServer.swap_model`, which never
+   drops in-flight requests;
+4. **forecasts** the next ``horizon`` steps from the updated history window
+   and emits width-adapted conformal intervals.
+
+The runner is deliberately model-agnostic: anything with a batch ``predict``
+returning a :class:`~repro.core.inference.PredictionResult` works — a
+:class:`~repro.api.Forecaster`, a raw UQ method, or the persistence baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.inference import PredictionResult
+from repro.streaming.aci import ACIConfig, AdaptiveConformalCalibrator
+from repro.streaming.drift import (
+    CoverageBreachDetector,
+    DriftEvent,
+    ErrorCusumDetector,
+    EventLog,
+)
+from repro.streaming.monitor import StreamingMonitor
+
+
+@dataclass
+class StepResult:
+    """Everything one :meth:`StreamingForecaster.observe` call produced."""
+
+    step: int
+    observed: np.ndarray                     # the ingested (gap-filled) row
+    mask: np.ndarray                         # which sensors were actually observed
+    prediction: Optional[PredictionResult]   # calibrated forecast, (1, H, N); None during warm-up
+    lower: Optional[np.ndarray]              # conformal bounds of that forecast, (H, N)
+    upper: Optional[np.ndarray]
+    coverage: float                          # rolling coverage (percent; NaN early on)
+    events: List[DriftEvent] = field(default_factory=list)
+
+
+class StreamingForecaster:
+    """Online wrapper driving a batch forecaster over a live observation feed.
+
+    Parameters
+    ----------
+    forecaster:
+        Object with ``predict(windows) -> PredictionResult``; its training
+        config (when present) supplies ``history`` / ``horizon`` defaults.
+    history, horizon:
+        Window geometry; required only when ``forecaster`` does not carry a
+        config exposing them.
+    calibrator:
+        An :class:`AdaptiveConformalCalibrator`; built from ``aci`` keyword
+        defaults when omitted.
+    aci:
+        Keyword overrides for the default calibrator's :class:`ACIConfig`
+        (ignored when ``calibrator`` is given).
+    monitor:
+        A :class:`StreamingMonitor`; a default rolling-day monitor is built
+        when omitted.
+    detectors:
+        Drift detectors consuming the per-step ``coverage`` / ``abs_error``
+        signals; defaults to a coverage-breach plus an error-CUSUM detector.
+    server:
+        Optional :class:`~repro.serving.InferenceServer` that external
+        clients query; drift-triggered refits are published to it through
+        ``swap_model`` (queued requests are never dropped).
+    refit_fn:
+        ``refit_fn(recent) -> model`` producing a replacement predictor from
+        the ``(steps, nodes)`` array of recent observations.  Without it,
+        recalibration still rebuilds the conformal state online.
+    refit_window:
+        How many recent observations are retained for ``refit_fn``.
+    cooldown:
+        Minimum number of steps between recalibration triggers.
+    background_refit:
+        Run ``refit_fn`` on a daemon thread (default) or synchronously.
+    version_prefix:
+        Prefix of the versions published to ``server`` on swap.
+    """
+
+    def __init__(
+        self,
+        forecaster: Any,
+        history: Optional[int] = None,
+        horizon: Optional[int] = None,
+        calibrator: Optional[AdaptiveConformalCalibrator] = None,
+        aci: Optional[Dict[str, Any]] = None,
+        monitor: Optional[StreamingMonitor] = None,
+        detectors: Optional[Sequence[Any]] = None,
+        server: Optional[Any] = None,
+        refit_fn: Optional[Callable[[Optional[np.ndarray]], Any]] = None,
+        refit_window: int = 288,
+        cooldown: int = 100,
+        background_refit: bool = True,
+        version_prefix: str = "stream",
+    ) -> None:
+        self.forecaster = forecaster
+        self.history, self.horizon = self._resolve_geometry(forecaster, history, horizon)
+        if calibrator is not None:
+            if calibrator.horizon != self.horizon:
+                raise ValueError(
+                    f"calibrator horizon {calibrator.horizon} does not match "
+                    f"runner horizon {self.horizon}"
+                )
+            self.calibrator = calibrator
+        else:
+            self.calibrator = AdaptiveConformalCalibrator(
+                self.horizon, config=ACIConfig(**(aci or {}))
+            )
+        significance = self.calibrator.config.significance
+        self.monitor = (
+            monitor if monitor is not None else StreamingMonitor(significance=significance)
+        )
+        self.detectors = (
+            list(detectors)
+            if detectors is not None
+            else [
+                CoverageBreachDetector(nominal=1.0 - significance),
+                ErrorCusumDetector(),
+            ]
+        )
+        self.server = server
+        self.refit_fn = refit_fn
+        self.refit_window = int(refit_window)
+        self.cooldown = int(cooldown)
+        self.background_refit = bool(background_refit)
+        self.version_prefix = str(version_prefix)
+        self.event_log = EventLog()
+
+        self._predict: Callable[[np.ndarray], PredictionResult] = forecaster.predict
+        self._lock = threading.Lock()
+        self._history: deque = deque(maxlen=self.history)
+        self._pending: deque = deque(maxlen=self.horizon)
+        self._recent: deque = deque(maxlen=self.refit_window)
+        self._last_filled: Optional[np.ndarray] = None
+        self._step = 0
+        self._last_trigger: Optional[int] = None
+        self._refit_thread: Optional[threading.Thread] = None
+        self._refit_count = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_geometry(
+        forecaster: Any, history: Optional[int], horizon: Optional[int]
+    ) -> Tuple[int, int]:
+        """History/horizon from explicit args, else the forecaster's config."""
+        config = getattr(forecaster, "config", None)
+        if config is None:
+            config = getattr(getattr(forecaster, "method", None), "config", None)
+        if history is None:
+            history = getattr(config, "history", None)
+        if horizon is None:
+            horizon = getattr(config, "horizon", None) or getattr(forecaster, "horizon", None)
+        if history is None or horizon is None:
+            raise ValueError(
+                "cannot infer history/horizon from the forecaster; pass history= and horizon="
+            )
+        if history < 1 or horizon < 1:
+            raise ValueError("history and horizon must be >= 1")
+        return int(history), int(horizon)
+
+    @property
+    def step(self) -> int:
+        """Number of observations ingested so far."""
+        return self._step
+
+    @property
+    def warmed_up(self) -> bool:
+        return len(self._history) == self.history
+
+    # ------------------------------------------------------------------ #
+    # The online loop
+    # ------------------------------------------------------------------ #
+    def observe(
+        self, observation: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> StepResult:
+        """Ingest one observation row and emit the next calibrated forecast."""
+        obs = np.asarray(observation, dtype=np.float64).reshape(-1)
+        valid = np.isfinite(obs)
+        if mask is not None:
+            valid &= np.asarray(mask, dtype=bool).reshape(-1)
+        s = self._step
+        events: List[DriftEvent] = []
+
+        # 1. Resolve pending forecasts this observation completes.
+        covered, abs_error = self._score_pending(s, obs, valid)
+
+        # 2. Route the step's signals through the drift detectors.
+        signals = {"coverage": covered, "abs_error": abs_error}
+        for detector in self.detectors:
+            event = detector.update(s, signals.get(getattr(detector, "signal", "coverage")))
+            if event is not None:
+                events.append(self.event_log.append(event))
+
+        # 3. Drift-triggered recalibration (rate-limited by the cooldown,
+        #    and never overlapping an in-flight refit).
+        if events and self._can_trigger(s):
+            self._trigger_recalibration(events[0], s)
+
+        # 4. Ingest the observation (carry-forward imputation for gaps).
+        if self._last_filled is None:
+            filled = np.where(valid, obs, 0.0)
+        else:
+            filled = np.where(valid, obs, self._last_filled)
+        self._last_filled = filled
+        self._history.append(filled)
+        self._recent.append(filled)
+
+        # 5. Forecast the next horizon from the updated window.
+        prediction = lower = upper = None
+        if self.warmed_up:
+            window = np.stack(self._history, axis=0)[None]
+            with self._lock:
+                predict = self._predict
+            raw = predict(window)
+            with self._lock:
+                lower_b, upper_b = self.calibrator.intervals(raw)
+                prediction = self.calibrator.calibrate(raw)
+                scale = self.calibrator._scale(raw)
+            lower, upper = lower_b[0], upper_b[0]
+            self._pending.append(
+                {
+                    "step": s,
+                    "mean": raw.mean[0],
+                    "scale": scale[0],
+                    "lower": lower,
+                    "upper": upper,
+                }
+            )
+
+        self._step += 1
+        return StepResult(
+            step=s,
+            observed=filled,
+            mask=valid,
+            prediction=prediction,
+            lower=lower,
+            upper=upper,
+            coverage=self.monitor.coverage,
+            events=events,
+        )
+
+    def run(
+        self, feed: Iterable[np.ndarray], max_steps: Optional[int] = None
+    ) -> List[StepResult]:
+        """Drive :meth:`observe` over a feed; returns the per-step results."""
+        results: List[StepResult] = []
+        for index, observation in enumerate(feed):
+            if max_steps is not None and index >= max_steps:
+                break
+            results.append(self.observe(observation))
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _score_pending(
+        self, s: int, obs: np.ndarray, valid: np.ndarray
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """Score every pending forecast row resolved by observation ``s``."""
+        targets, means, lowers, uppers = [], [], [], []
+        masked = np.where(valid, obs, np.nan)
+        with self._lock:
+            for entry in self._pending:
+                h = s - entry["step"] - 1
+                if not 0 <= h < self.horizon:
+                    continue
+                mu, scale = entry["mean"][h], entry["scale"][h]
+                lo, up = entry["lower"][h], entry["upper"][h]
+                targets.append(masked)
+                means.append(mu)
+                lowers.append(lo)
+                uppers.append(up)
+                if valid.any():
+                    scores = np.abs(obs[valid] - mu[valid]) / scale[valid]
+                    miss = float(((obs[valid] < lo[valid]) | (obs[valid] > up[valid])).mean())
+                else:
+                    scores, miss = np.empty(0), None
+                self.calibrator.update(h, scores, miscoverage=miss)
+        if not targets:
+            return None, None
+        target = np.stack(targets)
+        mean = np.stack(means)
+        covered = self.monitor.update(target, mean, np.stack(lowers), np.stack(uppers))
+        finite = np.isfinite(target)
+        abs_error = (
+            float(np.mean(np.abs(target[finite] - mean[finite]))) if finite.any() else None
+        )
+        return covered, abs_error
+
+    def _can_trigger(self, s: int) -> bool:
+        """Cooldown elapsed and no background refit still running.
+
+        The in-flight guard matters beyond thread count: were a second refit
+        allowed to start, the *older-data* one could finish last and publish
+        a stale model over the fresher one.
+        """
+        if self._refit_thread is not None and self._refit_thread.is_alive():
+            return False
+        return self._last_trigger is None or s - self._last_trigger >= self.cooldown
+
+    def _trigger_recalibration(self, cause: DriftEvent, s: int) -> None:
+        """Kick off conformal-state rebuild and (optionally) a model refit."""
+        self._last_trigger = s
+        self.event_log.append(
+            DriftEvent(
+                kind="recalibration_started",
+                step=s,
+                value=cause.value,
+                threshold=cause.threshold,
+                message=f"triggered by {cause.kind}",
+            )
+        )
+        recent = np.stack(self._recent, axis=0) if self._recent else None
+
+        def work() -> None:
+            try:
+                if self.refit_fn is not None:
+                    model = self.refit_fn(recent)
+                    predict = model.predict if hasattr(model, "predict") else model
+                    if not callable(predict):
+                        raise TypeError("refit_fn must return a predictor or predict function")
+                    with self._lock:
+                        # Adopt the replacement wholesale so save() persists
+                        # the model actually serving, not the pre-drift one.
+                        self.forecaster = model
+                        self._predict = predict
+                        self._refit_count += 1
+                        version = f"{self.version_prefix}-recal{self._refit_count}"
+                    if self.server is not None:
+                        previous = self.server.swap_model(model, version=version)
+                        self.event_log.append(
+                            DriftEvent(
+                                kind="model_swapped",
+                                step=s,
+                                value=float(self._refit_count),
+                                threshold=0.0,
+                                message=f"{previous} -> {version}",
+                            )
+                        )
+                with self._lock:
+                    # Pre-drift scores only slow adaptation down; refill the
+                    # nonconformity buffers from post-drift data.
+                    self.calibrator.reset_scores(keep_alpha=True)
+                self.event_log.append(
+                    DriftEvent(
+                        kind="recalibrated",
+                        step=s,
+                        value=float(self._refit_count),
+                        threshold=0.0,
+                        message="conformal state rebuilt"
+                        + (", model refitted" if self.refit_fn is not None else ""),
+                    )
+                )
+            except Exception as error:  # surfaced via the event log, not the loop
+                self.event_log.append(
+                    DriftEvent(
+                        kind="recalibration_failed",
+                        step=s,
+                        value=0.0,
+                        threshold=0.0,
+                        message=f"{type(error).__name__}: {error}",
+                    )
+                )
+
+        if self.background_refit:
+            self._refit_thread = threading.Thread(
+                target=work, name="repro-stream-refit", daemon=True
+            )
+            self._refit_thread.start()
+        else:
+            work()
+
+    def join_refit(self, timeout: Optional[float] = 30.0) -> None:
+        """Block until any in-flight background refit has finished."""
+        thread = self._refit_thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    MODEL_SUBDIR = "model"
+    ACI_SUBDIR = "aci"
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Persist the ACI state (always) and the wrapped forecaster (if it can).
+
+        The calibration state round-trips bit-identically through the shared
+        ``get_state`` / ``set_state`` array protocol; forecasters exposing
+        ``save`` (the :class:`~repro.api.Forecaster` facade) are stored
+        alongside so :meth:`load` restores the entire streaming system.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            forecaster = self.forecaster
+            self.calibrator.save(directory / self.ACI_SUBDIR)
+        saver = getattr(forecaster, "save", None)
+        if callable(saver):
+            saver(directory / self.MODEL_SUBDIR)
+        return directory
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        forecaster: Optional[Any] = None,
+        **kwargs: Any,
+    ) -> "StreamingForecaster":
+        """Rebuild a streaming forecaster from a :meth:`save` directory.
+
+        ``forecaster`` overrides (or substitutes, for non-checkpointable
+        predictors) the stored model checkpoint.
+        """
+        directory = Path(directory)
+        calibrator = AdaptiveConformalCalibrator.load(directory / cls.ACI_SUBDIR)
+        if forecaster is None:
+            model_dir = directory / cls.MODEL_SUBDIR
+            if not model_dir.exists():
+                raise FileNotFoundError(
+                    f"{directory} holds no model checkpoint; pass forecaster= explicitly"
+                )
+            from repro.api import Forecaster
+
+            forecaster = Forecaster.load(model_dir)
+        return cls(forecaster, calibrator=calibrator, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingForecaster(history={self.history}, horizon={self.horizon}, "
+            f"step={self._step}, mode={self.calibrator.config.mode!r}, "
+            f"events={len(self.event_log)})"
+        )

@@ -14,30 +14,39 @@ finite differences in ``tests/tensor``.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[float, int, list, tuple, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
+# Grad mode is *thread-local* (like torch): an inference thread inside
+# ``no_grad()`` must not disable tape recording for a training loop running
+# concurrently on another thread — the streaming subsystem refits replacement
+# models in the background while serving threads keep predicting.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently being recorded on the tape."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling gradient recording (like ``torch.no_grad``)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling gradient recording (like ``torch.no_grad``).
+
+    The flag is per-thread: entering ``no_grad`` on one thread leaves
+    training on other threads (e.g. a drift-triggered background refit)
+    recording gradients normally.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:

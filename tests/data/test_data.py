@@ -10,6 +10,8 @@ from repro.data import (
     MinMaxScaler,
     SlidingWindowDataset,
     StandardScaler,
+    StreamScenarioEvent,
+    StreamingTrafficFeed,
     SyntheticTrafficConfig,
     TrafficData,
     generate_traffic,
@@ -294,3 +296,125 @@ class TestDataLoader:
         dataset = SlidingWindowDataset(_small_traffic(num_steps=60), history=6, horizon=6)
         with pytest.raises(ValueError):
             DataLoader(dataset, batch_size=0)
+
+
+class TestStreamingTrafficFeed:
+    def _network(self):
+        return grid_network(3, 3)
+
+    def test_iteration_yields_every_step(self):
+        feed = StreamingTrafficFeed(self._network(), num_steps=50, seed=0)
+        rows = list(feed)
+        assert len(rows) == len(feed) == 50
+        assert all(row.shape == (feed.num_nodes,) for row in rows)
+        np.testing.assert_array_equal(np.stack(rows), feed.values)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = StreamingTrafficFeed(self._network(), num_steps=80, seed=3)
+        b = StreamingTrafficFeed(self._network(), num_steps=80, seed=3)
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.clean, b.clean)
+
+    def test_clean_signal_is_noise_free_center(self):
+        feed = StreamingTrafficFeed(self._network(), num_steps=400, seed=1)
+        residual = feed.values - feed.clean
+        # Residuals should be on the noise-sigma scale, not the flow scale.
+        assert np.nanstd(residual) < 0.5 * feed.clean.mean()
+        assert np.all(feed.noise_sigma > 0.0)
+
+    def test_regime_shift_scales_noise_from_start_step(self):
+        feed = StreamingTrafficFeed(
+            self._network(),
+            num_steps=200,
+            seed=2,
+            events=[StreamScenarioEvent(kind="regime_shift", start=100, noise_scale=3.0)],
+        )
+        assert np.allclose(feed.noise_sigma[100:] / feed.noise_sigma[:100], 3.0) is False
+        # Per-entry sigma after the shift is exactly 3x what the same clean
+        # level would produce before it.
+        config = feed.config
+        base = config.noise_floor + config.noise_fraction * feed.clean
+        np.testing.assert_allclose(feed.noise_sigma[:100], base[:100])
+        np.testing.assert_allclose(feed.noise_sigma[100:], 3.0 * base[100:])
+
+    def test_regime_shift_flow_scale(self):
+        quiet = StreamingTrafficFeed(self._network(), num_steps=120, seed=5)
+        shifted = StreamingTrafficFeed(
+            self._network(),
+            num_steps=120,
+            seed=5,
+            events=[StreamScenarioEvent(kind="regime_shift", start=60, flow_scale=1.5)],
+        )
+        np.testing.assert_allclose(shifted.clean[:60], quiet.clean[:60])
+        np.testing.assert_allclose(shifted.clean[60:], 1.5 * quiet.clean[60:])
+
+    def test_dropout_burst_emits_nan_rows(self):
+        feed = StreamingTrafficFeed(
+            self._network(),
+            num_steps=100,
+            seed=4,
+            events=[
+                StreamScenarioEvent(
+                    kind="dropout_burst", start=40, duration=20, node_fraction=0.5
+                )
+            ],
+        )
+        burst = feed.values[40:60]
+        assert np.isnan(burst).any()
+        assert not np.isnan(feed.values[:40]).any()
+        assert not np.isnan(feed.values[60:]).any()
+        # The same sensors stay silent for the whole burst.
+        silent = np.isnan(burst).all(axis=0)
+        np.testing.assert_array_equal(np.isnan(burst), np.tile(silent, (20, 1)))
+
+    def test_dropout_burst_as_zeros_when_requested(self):
+        feed = StreamingTrafficFeed(
+            self._network(),
+            num_steps=60,
+            seed=4,
+            events=[StreamScenarioEvent(kind="dropout_burst", start=10, duration=5)],
+            nan_dropouts=False,
+        )
+        assert not np.isnan(feed.values).any()
+        assert (feed.values[10:15] == 0.0).any()
+
+    def test_incident_storm_depresses_flow(self):
+        quiet = StreamingTrafficFeed(self._network(), num_steps=300, seed=6)
+        stormy = StreamingTrafficFeed.scenario(
+            self._network(), "incident_storm", num_steps=300, seed=6, rate=0.5
+        )
+        start, stop = 100, 150
+        assert stormy.clean[start:stop].mean() < quiet.clean[start:stop].mean()
+
+    def test_scenario_names(self):
+        for name in ("regime_shift", "incident_storm", "dropout_burst"):
+            feed = StreamingTrafficFeed.scenario(self._network(), name, num_steps=60, seed=0)
+            assert len(feed) == 60
+        with pytest.raises(ValueError):
+            StreamingTrafficFeed.scenario(self._network(), "unknown")
+
+    def test_scenario_accepts_any_event_field_override(self):
+        # A *temporary* regime shift: duration is a valid override even
+        # though the default regime_shift event runs to the end.
+        feed = StreamingTrafficFeed.scenario(
+            self._network(), "regime_shift", num_steps=90, seed=0,
+            start=30, duration=20, noise_scale=3.0,
+        )
+        base = feed.config.noise_floor + feed.config.noise_fraction * feed.clean
+        np.testing.assert_allclose(feed.noise_sigma[:30], base[:30])
+        np.testing.assert_allclose(feed.noise_sigma[30:50], 3.0 * base[30:50])
+        np.testing.assert_allclose(feed.noise_sigma[50:], base[50:])
+        # Feed-constructor keywords still pass through alongside.
+        feed = StreamingTrafficFeed.scenario(
+            self._network(), "dropout_burst", num_steps=60, seed=0,
+            node_fraction=0.5, nan_dropouts=False,
+        )
+        assert not np.isnan(feed.values).any()
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            StreamScenarioEvent(kind="nope", start=0)
+        with pytest.raises(ValueError):
+            StreamScenarioEvent(kind="regime_shift", start=-1)
+        with pytest.raises(ValueError):
+            StreamingTrafficFeed(self._network(), num_steps=0)

@@ -24,7 +24,8 @@ class TestExamples:
     def test_examples_directory_contents(self):
         scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert {"quickstart.py", "compare_uq_methods.py", "emergency_routing.py",
-                "custom_dataset.py", "serving_demo.py"}.issubset(scripts)
+                "custom_dataset.py", "serving_demo.py",
+                "streaming_dashboard.py"}.issubset(scripts)
 
     def test_quickstart_fast(self):
         result = _run("quickstart.py", "--fast", "--epochs", "2")
@@ -52,3 +53,12 @@ class TestExamples:
         result = _run("custom_dataset.py", "--fast", "--days", "3")
         assert result.returncode == 0, result.stderr
         assert "DeepSTUQ" in result.stdout
+
+    def test_streaming_dashboard_fast(self):
+        result = _run("streaming_dashboard.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "Rolling coverage" in result.stdout
+        assert "ACI coverage" in result.stdout
+        assert "Event log" in result.stdout
+        assert "model_swapped" in result.stdout
+        assert "stream-recal" in result.stdout

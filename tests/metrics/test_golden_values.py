@@ -9,12 +9,14 @@ import numpy as np
 import pytest
 
 from repro.metrics import (
+    Z_95,
     coverage_width_criterion,
     interval_bounds,
     mae,
     mape,
     mnll,
     mpiw,
+    norm_ppf,
     per_horizon_metrics,
     per_horizon_uncertainty,
     picp,
@@ -22,6 +24,78 @@ from repro.metrics import (
     rmse,
     winkler_score,
 )
+
+
+class TestNormPpfGoldens:
+    """Pin the pure-NumPy inverse normal against ``scipy.stats.norm.ppf``.
+
+    The expected values below were produced by scipy 1.x on this container
+    before the scipy import was removed from the serving hot path; the new
+    Acklam + Halley implementation must keep reproducing them.
+    """
+
+    # (p, scipy.stats.norm.ppf(p)) pairs, recorded verbatim.
+    SCIPY_GOLDENS = [
+        (0.001, -3.090232306167813),
+        (0.01, -2.3263478740408408),
+        (0.025, -1.9599639845400545),
+        (0.05, -1.6448536269514729),
+        (0.1, -1.2815515655446004),
+        (0.25, -0.6744897501960817),
+        (0.5, 0.0),
+        (0.75, 0.6744897501960817),
+        (0.9, 1.2815515655446004),
+        (0.95, 1.6448536269514722),
+        (0.975, 1.959963984540054),
+        (0.99, 2.3263478740408408),
+        (0.995, 2.5758293035489004),
+        (0.999, 3.090232306167813),
+    ]
+
+    def test_matches_scipy_goldens(self):
+        for p, expected in self.SCIPY_GOLDENS:
+            assert norm_ppf(p) == pytest.approx(expected, abs=1e-12), p
+
+    def test_vectorized_matches_scalar(self):
+        ps = np.array([p for p, _ in self.SCIPY_GOLDENS])
+        expected = np.array([z for _, z in self.SCIPY_GOLDENS])
+        np.testing.assert_allclose(norm_ppf(ps), expected, atol=1e-12)
+        assert norm_ppf(ps.reshape(2, 7)).shape == (2, 7)
+
+    def test_deep_tails(self):
+        # scipy.stats.norm.ppf(1e-9) / (1 - 1e-9), recorded verbatim.
+        assert norm_ppf(1e-9) == pytest.approx(-5.9978070150076865, abs=1e-12)
+        assert norm_ppf(1.0 - 1e-9) == pytest.approx(5.997807019601637, abs=1e-11)
+
+    def test_symmetry(self):
+        for p, _ in self.SCIPY_GOLDENS:
+            assert norm_ppf(p) == pytest.approx(-norm_ppf(1.0 - p), abs=1e-12)
+
+    def test_z95_constant_reproduced(self):
+        assert norm_ppf(0.975) == pytest.approx(Z_95, abs=1e-12)
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                norm_ppf(bad)
+        with pytest.raises(ValueError):
+            norm_ppf(np.array([0.5, 1.0]))
+
+    def test_interval_bounds_no_scipy_on_hot_path(self):
+        """The serving hot path must not import scipy anymore."""
+        import ast
+        import inspect
+
+        import repro.metrics.uncertainty as module
+
+        tree = ast.parse(inspect.getsource(module))
+        imported = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.Import, ast.ImportFrom))
+            and "scipy" in ast.dump(node)
+        ]
+        assert imported == []
 
 
 class TestPointGoldens:

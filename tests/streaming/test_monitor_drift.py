@@ -1,0 +1,191 @@
+"""Rolling-window monitors and drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mpiw, picp, winkler_score
+from repro.streaming import (
+    CoverageBreachDetector,
+    DriftEvent,
+    ErrorCusumDetector,
+    EventLog,
+    RollingStat,
+    StreamingMonitor,
+)
+
+
+class TestRollingStat:
+    def test_mean_before_full(self):
+        stat = RollingStat(4)
+        for value in (1.0, 2.0, 3.0):
+            stat.push(value)
+        assert stat.count == 3
+        assert stat.mean == pytest.approx(2.0)
+
+    def test_eviction_keeps_last_window(self):
+        stat = RollingStat(3)
+        for value in (1.0, 2.0, 3.0, 10.0):
+            stat.push(value)
+        assert stat.count == 3
+        assert stat.mean == pytest.approx(5.0)  # (2 + 3 + 10) / 3
+        np.testing.assert_allclose(stat.values(), [2.0, 3.0, 10.0])
+
+    def test_running_sum_matches_recompute_over_long_stream(self):
+        rng = np.random.default_rng(0)
+        stat = RollingStat(16)
+        stream = rng.normal(size=500)
+        for value in stream:
+            stat.push(value)
+        assert stat.mean == pytest.approx(np.mean(stream[-16:]), abs=1e-10)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(RollingStat(3).mean)
+
+    def test_reset(self):
+        stat = RollingStat(3)
+        stat.push(1.0)
+        stat.reset()
+        assert stat.count == 0 and np.isnan(stat.mean)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            RollingStat(0)
+
+
+class TestStreamingMonitor:
+    def _stream(self, rng, steps=60, nodes=5):
+        target = rng.normal(size=(steps, nodes)) * 2.0 + 10.0
+        mean = target + rng.normal(size=(steps, nodes))
+        lower, upper = mean - 2.5, mean + 2.5
+        return target, mean, lower, upper
+
+    def test_matches_batch_metrics_over_window(self, rng):
+        steps = 60
+        target, mean, lower, upper = self._stream(rng, steps=steps)
+        monitor = StreamingMonitor(window=steps)
+        for t in range(steps):
+            monitor.update(target[t], mean[t], lower[t], upper[t])
+        snap = monitor.snapshot()
+        assert snap["coverage"] == pytest.approx(picp(target, lower, upper), abs=1e-9)
+        assert snap["mean_width"] == pytest.approx(mpiw(lower, upper), abs=1e-9)
+        assert snap["mae"] == pytest.approx(np.mean(np.abs(target - mean)), abs=1e-9)
+        assert snap["rmse"] == pytest.approx(
+            np.sqrt(np.mean((target - mean) ** 2)), abs=1e-9
+        )
+        assert snap["winkler"] == pytest.approx(
+            winkler_score(target, lower, upper), abs=1e-9
+        )
+
+    def test_window_forgets_old_steps(self, rng):
+        monitor = StreamingMonitor(window=10)
+        # 50 uncovered steps followed by 10 covered ones.
+        for _ in range(50):
+            monitor.update(np.array([100.0]), np.array([0.0]), np.array([-1.0]), np.array([1.0]))
+        for _ in range(10):
+            monitor.update(np.array([0.0]), np.array([0.0]), np.array([-1.0]), np.array([1.0]))
+        assert monitor.coverage == pytest.approx(100.0)
+
+    def test_nan_targets_are_masked(self):
+        monitor = StreamingMonitor(window=8)
+        target = np.array([0.0, np.nan, 50.0])
+        covered = monitor.update(
+            target, np.zeros(3), np.full(3, -1.0), np.full(3, 1.0)
+        )
+        # NaN entry dropped; of the remaining two, one covered.
+        assert covered == pytest.approx(0.5)
+
+    def test_fully_masked_step_leaves_window_untouched(self):
+        monitor = StreamingMonitor(window=8)
+        assert monitor.update(
+            np.array([np.nan]), np.array([0.0]), np.array([-1.0]), np.array([1.0])
+        ) is None
+        assert np.isnan(monitor.coverage)
+        assert monitor.snapshot()["scored_steps"] == 0
+
+    def test_explicit_mask_intersects_finiteness(self):
+        monitor = StreamingMonitor(window=8)
+        covered = monitor.update(
+            np.array([0.0, 0.0]),
+            np.zeros(2),
+            np.full(2, -1.0),
+            np.full(2, 1.0),
+            mask=np.array([True, False]),
+        )
+        assert covered == pytest.approx(1.0)
+
+    def test_rejects_bad_significance(self):
+        with pytest.raises(ValueError):
+            StreamingMonitor(significance=0.0)
+
+
+class TestCoverageBreachDetector:
+    def test_fires_after_patience_breached_steps(self):
+        detector = CoverageBreachDetector(
+            nominal=0.95, tolerance=0.05, window=20, patience=5, warmup=10
+        )
+        event = None
+        for step in range(40):
+            event = detector.update(step, 0.5) or event
+        assert event is not None
+        assert event.kind == "coverage_breach"
+        assert event.value < event.threshold
+
+    def test_silent_during_warmup(self):
+        detector = CoverageBreachDetector(window=50, patience=1, warmup=30)
+        events = [detector.update(step, 0.0) for step in range(29)]
+        assert all(event is None for event in events)
+
+    def test_good_coverage_resets_patience(self):
+        detector = CoverageBreachDetector(
+            nominal=0.95, tolerance=0.05, window=1, patience=3, warmup=1
+        )
+        # Alternating good/bad rolling coverage never accumulates patience.
+        for step in range(30):
+            assert detector.update(step, 1.0 if step % 2 else 0.7) is None
+
+    def test_none_signal_is_ignored(self):
+        detector = CoverageBreachDetector(warmup=1, patience=1)
+        assert detector.update(0, None) is None
+
+
+class TestErrorCusumDetector:
+    def test_fires_on_sustained_error_increase(self):
+        rng = np.random.default_rng(3)
+        detector = ErrorCusumDetector(slack=0.5, threshold=8.0, warmup=50)
+        fired_at = None
+        for step in range(300):
+            scale = 1.0 if step < 150 else 4.0
+            event = detector.update(step, abs(rng.normal()) * scale)
+            if event is not None and fired_at is None:
+                fired_at = step
+        assert fired_at is not None and fired_at >= 150
+        mean, std = detector.baseline
+        assert 0.0 < mean < 2.0 and std > 0.0
+
+    def test_stable_stream_never_fires(self):
+        rng = np.random.default_rng(4)
+        detector = ErrorCusumDetector(slack=0.5, threshold=8.0, warmup=50)
+        events = [detector.update(step, abs(rng.normal())) for step in range(500)]
+        assert all(event is None for event in events)
+
+    def test_statistic_resets_after_firing(self):
+        detector = ErrorCusumDetector(slack=0.0, threshold=1.0, warmup=2)
+        detector.update(0, 1.0)
+        detector.update(1, 1.0)
+        event = None
+        step = 2
+        while event is None and step < 50:
+            event = detector.update(step, 10.0)
+            step += 1
+        assert event is not None
+        assert detector.statistic == 0.0
+
+
+class TestEventLog:
+    def test_filter_by_kind(self):
+        log = EventLog()
+        log.append(DriftEvent(kind="coverage_breach", step=1, value=0.5, threshold=0.9))
+        log.append(DriftEvent(kind="model_swapped", step=2, value=1.0, threshold=0.0))
+        assert len(log) == 2
+        assert [event.step for event in log.of_kind("model_swapped")] == [2]
+        assert "coverage_breach" in str(next(iter(log)))

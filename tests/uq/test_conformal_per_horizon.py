@@ -1,0 +1,116 @@
+"""Per-horizon mode of the locally-weighted conformal method."""
+
+import numpy as np
+import pytest
+
+from repro.api import Forecaster
+from repro.core.trainer import TrainingConfig
+from repro.data import TrafficData, generate_traffic, train_val_test_split
+from repro.graph import grid_network
+from repro.metrics import Z_95
+from repro.uq.conformal import LocallyWeightedConformal
+
+NUM_NODES = 9
+TRAINING = {
+    "history": 4, "horizon": 3, "hidden_dim": 6, "embed_dim": 2,
+    "epochs": 1, "batch_size": 64, "seed": 0,
+}
+
+
+@pytest.fixture(scope="module")
+def splits():
+    network = grid_network(3, 3)
+    values = generate_traffic(network, 300, seed=11)
+    traffic = TrafficData(name="conformal-test", values=values, network=network)
+    return train_val_test_split(traffic)
+
+
+@pytest.fixture(scope="module")
+def fitted_per_horizon(splits):
+    train, val, _ = splits
+    method = LocallyWeightedConformal(
+        NUM_NODES, config=TrainingConfig(**TRAINING), per_horizon=True
+    )
+    return method.fit(train, val)
+
+
+class TestPerHorizonQuantiles:
+    def test_quantile_is_per_step_ahead(self, fitted_per_horizon):
+        q = fitted_per_horizon.conformal_quantile
+        assert isinstance(q, np.ndarray)
+        assert q.shape == (TRAINING["horizon"],)
+        assert np.all(q > 0.0)
+
+    def test_scalar_mode_unchanged_default(self, splits):
+        train, val, _ = splits
+        method = LocallyWeightedConformal(NUM_NODES, config=TrainingConfig(**TRAINING))
+        method.fit(train, val)
+        assert isinstance(method.conformal_quantile, float)
+
+    def test_predict_broadcasts_per_horizon(self, fitted_per_horizon, splits):
+        _, _, test = splits
+        result, _ = fitted_per_horizon.predict_on(test.slice_steps(0, 30))
+        q = fitted_per_horizon.conformal_quantile
+        # Interval half-width per horizon h must equal q[h] * sigma(x).
+        base = LocallyWeightedConformal.__mro__[1].predict(  # MVE.predict
+            fitted_per_horizon, fitted_per_horizon._windows(test.slice_steps(0, 30))[0]
+        )
+        np.testing.assert_allclose(
+            result.std * Z_95,
+            q.reshape(1, -1, 1) * base.aleatoric_std,
+            rtol=1e-10,
+        )
+
+    def test_per_horizon_matches_manual_quantiles(self, fitted_per_horizon, splits):
+        """Recompute the per-step-ahead quantiles directly from the scores."""
+        train, val, _ = splits
+        inputs, targets = fitted_per_horizon._windows(val)
+        base = LocallyWeightedConformal.__mro__[1].predict(fitted_per_horizon, inputs)
+        sigma = np.maximum(base.aleatoric_std, 1e-6)
+        scores = np.abs(targets - base.mean) / sigma
+        n = scores.shape[0] * scores.shape[2]
+        level = min(np.ceil((n + 1) * 0.95) / n, 1.0)
+        for h in range(TRAINING["horizon"]):
+            expected = np.quantile(scores[:, h, :].reshape(-1), level)
+            assert fitted_per_horizon.conformal_quantile[h] == pytest.approx(expected)
+
+
+class TestPerHorizonState:
+    def test_get_set_state_roundtrip(self, fitted_per_horizon):
+        state = fitted_per_horizon.get_state()
+        assert state["meta"]["per_horizon"] is True
+        assert "conformal.quantiles" in state["arrays"]
+        clone = LocallyWeightedConformal(
+            NUM_NODES, config=TrainingConfig(**TRAINING), per_horizon=True
+        )
+        clone.set_state(state)
+        np.testing.assert_array_equal(
+            clone.conformal_quantile, fitted_per_horizon.conformal_quantile
+        )
+
+    def test_mode_mismatch_rejected(self, fitted_per_horizon):
+        state = fitted_per_horizon.get_state()
+        scalar = LocallyWeightedConformal(NUM_NODES, config=TrainingConfig(**TRAINING))
+        with pytest.raises(ValueError, match="per_horizon"):
+            scalar.set_state(state)
+
+    def test_directory_checkpoint_roundtrip(self, splits, tmp_path):
+        """Per-horizon state round-trips through Forecaster directory checkpoints."""
+        train, val, test = splits
+        forecaster = Forecaster.from_spec(
+            {
+                "method": "Conformal",
+                "method_kwargs": {"per_horizon": True},
+                "training": TRAINING,
+            }
+        ).fit(train, val)
+        forecaster.save(tmp_path / "ckpt")
+        restored = Forecaster.load(tmp_path / "ckpt")
+        np.testing.assert_array_equal(
+            restored.method.conformal_quantile, forecaster.method.conformal_quantile
+        )
+        windows = forecaster.method._windows(test.slice_steps(0, 20))[0]
+        direct = forecaster.predict(windows)
+        reloaded = restored.predict(windows)
+        np.testing.assert_array_equal(direct.mean, reloaded.mean)
+        np.testing.assert_array_equal(direct.total_var, reloaded.total_var)
