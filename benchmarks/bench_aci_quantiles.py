@@ -1,0 +1,100 @@
+"""ACI quantile maintenance — sorted ring vs per-step ``np.quantile`` re-sort.
+
+``AdaptiveConformalCalibrator.quantiles()`` used to re-sort the whole score
+window on every read (``np.quantile`` is O(n log n)), which dominates the
+streaming loop at large windows.  The sorted-ring rewrite keeps a bisect-
+maintained mirror of each ring buffer, so a quantile read is an O(1) index
+and each score insert is a bisect insert/remove — identical outputs (the
+equivalence is asserted bit-exactly in ``tests/streaming/test_aci.py``),
+different asymptotics.  The gate: >= 3x per-step speedup at the largest
+window.
+"""
+
+import time
+
+import numpy as np
+
+from repro.evaluation import format_rows
+from repro.metrics.uncertainty import conformal_quantile_level
+from repro.streaming import ACIConfig, AdaptiveConformalCalibrator
+
+HORIZON = 4
+SCORES_PER_STEP = 8     # observed sensors contributing per update
+STEPS = 300             # timed steps per configuration
+GATE_WINDOW = 16000     # the >= 3x gate applies at the largest window
+GATE_SPEEDUP = 3.0
+
+
+class _LegacyQuantiles:
+    """The pre-sorted-ring read: ``np.quantile`` over the raw ring each step."""
+
+    def __init__(self, calibrator):
+        self.calibrator = calibrator
+
+    def quantiles(self):
+        calibrator = self.calibrator
+        cfg = calibrator.config
+        out = np.empty(calibrator.horizon)
+        for h in range(calibrator.horizon):
+            n = int(calibrator._count[h])
+            corrected = conformal_quantile_level(max(n, 1), calibrator.alpha_t[h])
+            out[h] = np.quantile(calibrator._scores[h, :n], corrected)
+        return out
+
+
+def _prefill(window, rng):
+    calibrator = AdaptiveConformalCalibrator(
+        HORIZON, config=ACIConfig(window=window, min_scores=5, mode="aci")
+    )
+    for _ in range(window // SCORES_PER_STEP + 1):
+        for h in range(HORIZON):
+            calibrator.update(h, rng.gamma(2.0, 1.0, size=SCORES_PER_STEP), miscoverage=0.05)
+    return calibrator
+
+
+def _time_loop(calibrator, reader, rng):
+    """One streaming step = fold in fresh scores, then read the quantiles."""
+    start = time.perf_counter()
+    for _ in range(STEPS):
+        for h in range(HORIZON):
+            calibrator.update(h, rng.gamma(2.0, 1.0, size=SCORES_PER_STEP), miscoverage=0.05)
+        reader.quantiles()
+    return (time.perf_counter() - start) / STEPS
+
+
+def run_aci_quantiles():
+    rows = []
+    for window in (1000, 4000, GATE_WINDOW):
+        rng = np.random.default_rng(window)
+        calibrator = _prefill(window, rng)
+        legacy = _time_loop(calibrator, _LegacyQuantiles(calibrator), rng)
+        ring = _time_loop(calibrator, calibrator, rng)
+        rows.append(
+            {
+                "window": window,
+                "legacy np.quantile (us/step)": round(legacy * 1e6, 1),
+                "sorted ring (us/step)": round(ring * 1e6, 1),
+                "speedup": round(legacy / ring, 2),
+                "ring steps/s": round(1.0 / ring, 0),
+            }
+        )
+    return rows
+
+
+def test_aci_quantile_maintenance(benchmark, save_result):
+    rows = benchmark.pedantic(run_aci_quantiles, rounds=1, iterations=1)
+    save_result(
+        "aci_quantiles",
+        format_rows(
+            rows,
+            title=(
+                f"ACI per-step quantiles (horizon={HORIZON}, "
+                f"{SCORES_PER_STEP} scores/step, {STEPS} timed steps)"
+            ),
+        ),
+    )
+    by_window = {row["window"]: row for row in rows}
+    # The win must grow with the window and clear the gate at the largest.
+    assert by_window[GATE_WINDOW]["speedup"] >= GATE_SPEEDUP, by_window
+    # The sorted ring must never lose at streaming-realistic windows.
+    assert all(row["speedup"] > 0.8 for row in rows), rows

@@ -1,0 +1,158 @@
+"""Routing overhead — multi-deployment pool vs the single-model fast path.
+
+The ModelPool/Router redesign must be free when it is not used and nearly
+free when it is.  Two separable costs:
+
+* **routing machinery** — the router decision per request, the per-batch
+  route-table snapshot, deployment-namespaced cache keys, per-deployment
+  stats.  Measured by routing every request through a :class:`KeyRouter` /
+  :class:`TrafficSplitRouter` onto a *single* deployment, so the model work
+  is identical to the legacy path.  Acceptance gate: <10% end-to-end
+  throughput overhead.
+* **multi-model serving** — routes resolving to *different* deployments
+  split each micro-batch into one model pass per deployment, and a shadow
+  mirror runs the candidate on every window.  Both are the point of the
+  feature, not overhead; they are reported for context and bounded loosely.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.inference import PredictionResult
+from repro.evaluation import format_rows
+from repro.serving import InferenceServer, KeyRouter, ShadowRouter, TrafficSplitRouter
+
+HISTORY, NODES, HORIZON = 12, 64, 4
+NUM_WINDOWS = 256
+REPEATS = 7
+GATE_OVERHEAD = 0.10  # routed-to-one-deployment paths vs single-model
+
+
+def _predict_fn(weight):
+    """A model pass heavy enough to resemble real serving (GIL-releasing math)."""
+
+    def predict(windows):
+        hidden = windows
+        for _ in range(6):
+            hidden = np.tanh(hidden @ weight)       # (B, H, N)
+        mean = np.repeat(hidden[:, -1:, :], HORIZON, axis=1)
+        return PredictionResult(
+            mean=mean,
+            aleatoric_var=np.abs(mean) * 0.1 + 0.01,
+            epistemic_var=np.zeros_like(mean),
+        )
+
+    return predict
+
+
+def _time_serving(server, windows, keys=None):
+    def once():
+        start = time.perf_counter()
+        server.predict_many(windows, timeout=60.0, keys=keys)
+        return time.perf_counter() - start
+
+    with server:
+        once()  # warm-up
+        return min(once() for _ in range(REPEATS))
+
+
+def run_router_overhead():
+    rng = np.random.default_rng(0)
+    weight = rng.normal(size=(NODES, NODES)) * 0.1
+    windows = list(rng.uniform(0.0, 1.0, size=(NUM_WINDOWS, HISTORY, NODES)))
+    regions = ["north", "south", "east"]
+    keys = [regions[index % 3] for index in range(NUM_WINDOWS)]
+    server_kwargs = dict(max_batch_size=32, max_wait_ms=1.0, cache_size=0)
+
+    def single():
+        return InferenceServer(_predict_fn(weight), model_version="bench", **server_kwargs)
+
+    def keyed_one_deployment():
+        # Every key resolves to the same deployment: identical model work,
+        # full routing machinery — the pure-overhead measurement.
+        server = InferenceServer(
+            router=KeyRouter({region: "main" for region in regions}), **server_kwargs
+        )
+        server.deploy("main", _predict_fn(weight))
+        return server
+
+    def split_one_deployment():
+        server = InferenceServer(
+            router=TrafficSplitRouter({"main": 0.9, None: 0.1}), **server_kwargs
+        )
+        server.deploy("main", _predict_fn(weight))
+        return server
+
+    def keyed_three_deployments():
+        server = InferenceServer(
+            router=KeyRouter({region: region for region in regions}), **server_kwargs
+        )
+        for region in regions:
+            server.deploy(region, _predict_fn(weight))
+        return server
+
+    def shadow():
+        server = InferenceServer(router=ShadowRouter(shadows=["cand"]), **server_kwargs)
+        server.deploy("main", _predict_fn(weight))
+        server.deploy("cand", _predict_fn(weight))
+        return server
+
+    cases = [
+        ("single-model (legacy path)", single, None, True),
+        ("key-routed, one deployment", keyed_one_deployment, keys, True),
+        ("split-routed, one deployment", split_one_deployment, None, True),
+        ("key-routed, three deployments", keyed_three_deployments, keys, False),
+        ("shadow-mirrored candidate", shadow, None, False),
+    ]
+    base = None
+    rows, timings = [], {}
+    for label, build, route_keys, gated in cases:
+        elapsed = _time_serving(build(), windows, keys=route_keys)
+        timings[label] = elapsed
+        if base is None:
+            base = elapsed
+        rows.append(
+            {
+                "serving path": label,
+                "gated": "yes" if gated else "context",
+                "time (ms)": round(elapsed * 1000.0, 2),
+                "windows/s": round(NUM_WINDOWS / elapsed, 1),
+                "overhead vs single": f"{(elapsed / base - 1.0) * 100.0:+.1f}%",
+            }
+        )
+    return rows, timings
+
+
+def _gates_pass(timings):
+    base = timings["single-model (legacy path)"]
+    return (
+        timings["key-routed, one deployment"] <= base * (1.0 + GATE_OVERHEAD)
+        and timings["split-routed, one deployment"] <= base * (1.0 + GATE_OVERHEAD)
+    )
+
+
+def test_router_overhead(benchmark, save_result):
+    rows, timings = benchmark.pedantic(run_router_overhead, rounds=1, iterations=1)
+    if not _gates_pass(timings):
+        # Sub-15ms wall timings occasionally eat a scheduler hiccup; one
+        # clean re-measurement separates real regressions from noise.
+        rows, timings = run_router_overhead()
+    save_result(
+        "router_overhead",
+        format_rows(
+            rows,
+            title=(
+                f"Routing overhead ({NUM_WINDOWS} windows, micro-batch 32, "
+                f"min of {REPEATS} runs)"
+            ),
+        ),
+    )
+    base = timings["single-model (legacy path)"]
+    # Acceptance gate: routing machinery costs <10% end-to-end.
+    assert timings["key-routed, one deployment"] <= base * (1.0 + GATE_OVERHEAD), timings
+    assert timings["split-routed, one deployment"] <= base * (1.0 + GATE_OVERHEAD), timings
+    # Multi-model work is the feature, not overhead; bound it loosely so a
+    # pathological regression (e.g. per-window model passes) still fails.
+    assert timings["key-routed, three deployments"] <= base * 2.0, timings
+    assert timings["shadow-mirrored candidate"] <= base * 3.0, timings

@@ -157,6 +157,19 @@ class Forecaster:
         """Stable default serving version derived from the spec."""
         return f"{self.spec.method}-{self.spec.backbone}"
 
+    def deploy(self, server, name: str, version: Optional[str] = None):
+        """Register this fitted forecaster as a named deployment on ``server``.
+
+        Convenience over :meth:`InferenceServer.deploy
+        <repro.serving.server.InferenceServer.deploy>`: the version defaults
+        to the spec-derived :meth:`default_version`, so several spec variants
+        deployed side by side stay distinguishable in cache namespaces and
+        stats.  Returns the created :class:`~repro.serving.pool.Deployment`.
+        """
+        self._check_fitted()
+        version = version if version is not None else self.default_version()
+        return server.deploy(name, self, version=version)
+
     # ------------------------------------------------------------------ #
     # Online / streaming operation
     # ------------------------------------------------------------------ #

@@ -1,40 +1,76 @@
 """Production-style serving layer over the batched inference engine.
 
-Three cooperating pieces:
+Cooperating pieces:
 
 * :class:`~repro.serving.batching.MicroBatcher` — a size-or-deadline request
   queue that groups single-window requests into micro-batches;
 * :class:`~repro.serving.cache.PredictionCache` — a thread-safe LRU keyed on
-  ``(model version, input hash, inference params)``;
-* :class:`~repro.serving.server.InferenceServer` — the thread-pool dispatcher
-  tying both to a batch predict function (usually a fitted
-  :class:`~repro.uq.base.UQMethod` backed by the vectorized
-  :class:`~repro.core.inference.BatchedPredictor`).
+  ``(model version, input hash, inference params)``, and
+  :class:`~repro.serving.cache.SharedPredictionCache` — its multi-deployment
+  sibling: one global entry budget, per-deployment namespaces, fair-share
+  eviction;
+* :class:`~repro.serving.pool.ModelPool` /
+  :class:`~repro.serving.pool.Deployment` — named, versioned models behind
+  one endpoint, with an atomically re-pointable default route
+  (``promote`` / ``rollback``) and per-deployment rolling stats;
+* :mod:`repro.serving.router` — pluggable request routing:
+  :class:`~repro.serving.router.KeyRouter` (per-region / per-corridor),
+  :class:`~repro.serving.router.TrafficSplitRouter` (weighted canary
+  splits), :class:`~repro.serving.router.ShadowRouter` (mirror to a
+  candidate without affecting responses);
+* :class:`~repro.serving.server.InferenceServer` — the thread-pool
+  dispatcher tying them together.
 
-Typical usage::
+Single-model usage (unchanged legacy surface)::
 
     server = method.serve(max_batch_size=32, cache_size=4096)
     with server:
         results = server.predict_many(windows)   # list of PredictionResult
 
-Servers can also boot straight from a :class:`~repro.api.Forecaster`
-checkpoint directory and hot-swap models without dropping queued requests::
+Multi-model serving with canary promotion::
 
-    server = InferenceServer.from_checkpoint("ckpt/mcdo-dcrnn")
+    server = InferenceServer(cache_size=8192, router=KeyRouter({"north": "regional"}))
+    server.deploy("regional", "ckpt/mcdo-north")          # checkpoint path
+    server.deploy("global", forecaster, version="v3")     # Forecaster / UQ method
     with server:
+        server.submit(window, key="north")                # routed per key
+        server.deploy("candidate", refitted, version="v4")
+        server.router = ShadowRouter(shadows=["candidate"])  # live mirror
         ...
-        server.swap_model(new_forecaster, version="v2")  # versioned cache keys
+        server.promote("candidate")   # atomic, zero dropped requests
+        server.rollback("candidate")  # or back out just as atomically
 """
 
 from repro.serving.batching import InferenceRequest, MicroBatcher
-from repro.serving.cache import PredictionCache, prediction_cache_key
+from repro.serving.cache import (
+    PredictionCache,
+    SharedPredictionCache,
+    prediction_cache_key,
+)
+from repro.serving.pool import Deployment, ModelPool, resolve_predict_fn
+from repro.serving.router import (
+    KeyRouter,
+    RouteDecision,
+    Router,
+    ShadowRouter,
+    TrafficSplitRouter,
+)
 from repro.serving.server import InferenceServer, serve_method
 
 __all__ = [
     "InferenceRequest",
     "MicroBatcher",
     "PredictionCache",
+    "SharedPredictionCache",
     "prediction_cache_key",
+    "Deployment",
+    "ModelPool",
+    "resolve_predict_fn",
+    "Router",
+    "RouteDecision",
+    "KeyRouter",
+    "TrafficSplitRouter",
+    "ShadowRouter",
     "InferenceServer",
     "serve_method",
 ]

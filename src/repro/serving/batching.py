@@ -13,18 +13,27 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
 
 @dataclass
 class InferenceRequest:
-    """A single history window awaiting prediction."""
+    """A single history window awaiting prediction.
+
+    ``primary`` names the deployment answering the request (``None`` = the
+    pool's default route, resolved when the batch snapshots its models);
+    ``shadows`` name deployments that see a mirrored copy without affecting
+    the response.  Single-model servers leave both at their defaults.
+    """
 
     window: np.ndarray  # (history, num_nodes)
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    key: Optional[Any] = None
+    primary: Optional[str] = None
+    shadows: Tuple[str, ...] = ()
 
 
 class _Shutdown:
@@ -50,11 +59,22 @@ class MicroBatcher:
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = threading.Event()
 
-    def submit(self, window: np.ndarray) -> Future:
+    def submit(
+        self,
+        window: np.ndarray,
+        key: Optional[Any] = None,
+        primary: Optional[str] = None,
+        shadows: Tuple[str, ...] = (),
+    ) -> Future:
         """Enqueue one window; returns a future resolved by the dispatcher."""
         if self._closed.is_set():
             raise RuntimeError("batcher is closed")
-        request = InferenceRequest(window=np.asarray(window, dtype=np.float64))
+        request = InferenceRequest(
+            window=np.asarray(window, dtype=np.float64),
+            key=key,
+            primary=primary,
+            shadows=tuple(shadows),
+        )
         self._queue.put(request)
         return request.future
 

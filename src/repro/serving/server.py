@@ -1,50 +1,64 @@
-"""Threaded inference server: micro-batching + LRU caching + worker pool.
+"""Threaded inference server: micro-batching, routing, caching, worker pool.
 
-:class:`InferenceServer` turns any batch prediction function — typically the
-``predict`` method of a fitted :class:`~repro.uq.base.UQMethod`, backed by the
-vectorized :class:`~repro.core.inference.BatchedPredictor` — into a concurrent
-serving endpoint:
+:class:`InferenceServer` fronts a :class:`~repro.serving.pool.ModelPool` of
+named, versioned deployments with a concurrent serving endpoint:
 
-1. single-window requests are queued and grouped by a :class:`MicroBatcher`;
-2. windows whose key is already cached are answered without touching the
-   model; duplicate windows *within* a batch run the model only once;
-3. the remaining unique windows are stacked into one array and pushed through
-   the model on a thread pool (NumPy releases the GIL inside the heavy ops,
-   so pool workers overlap usefully);
-4. per-window results are sliced out, cached, and delivered via futures.
+1. single-window requests are routed by a pluggable
+   :class:`~repro.serving.router.Router` (key-based, weighted canary splits,
+   shadow mirroring) and queued by a :class:`MicroBatcher`;
+2. each micro-batch snapshots one consistent ``deployment -> (predict_fn,
+   version)`` view, so :meth:`promote` / :meth:`rollback` / :meth:`swap_model`
+   re-point routes atomically without dropping or mixing in-flight requests;
+3. windows already in the shared, deployment-namespaced cache are answered
+   without touching a model; duplicates within a batch run the model once;
+4. the remaining unique windows are stacked per deployment and pushed through
+   the model on a thread pool (NumPy releases the GIL inside the heavy ops);
+5. shadow deployments see mirrored copies of the same batches — their
+   predictions feed rolling divergence metrics and warm their cache
+   namespace, but never touch a client future.
+
+The legacy single-model shape still works unchanged:
+``InferenceServer(predict_fn, model_version=...)`` is a pool with exactly one
+deployment on the default route, and ``swap_model`` hot-swaps it in place.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
+from collections import defaultdict
 from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.inference import PredictionResult
 from repro.serving.batching import InferenceRequest, MicroBatcher
-from repro.serving.cache import PredictionCache, prediction_cache_key
-
-PredictFn = Callable[[np.ndarray], PredictionResult]
+from repro.serving.cache import SharedPredictionCache, prediction_cache_key
+from repro.serving.pool import Deployment, ModelPool, PredictFn, resolve_predict_fn
+from repro.serving.router import Router
 
 
 class InferenceServer:
-    """Concurrent prediction service over a batch ``predict_fn``.
+    """Concurrent prediction service over a pool of named deployments.
 
     Parameters
     ----------
     predict_fn:
-        Maps a stacked window array ``(batch, history, num_nodes)`` to a
-        :class:`PredictionResult` with matching leading dimension.
+        Legacy single-model shim: when given, it is registered as the
+        ``"default"`` deployment at ``model_version`` and becomes the default
+        route.  Omit it and call :meth:`deploy` for multi-model serving.
     model_version:
-        Namespaces cache keys; bump it whenever the underlying weights or
-        inference parameters change so stale entries can never be served.
+        Version of the shim deployment; namespaces its cache entries.
+    router:
+        Maps each request to a deployment (see :mod:`repro.serving.router`).
+        The base :class:`Router` sends everything to the default route.
     max_batch_size, max_wait_ms:
         Micro-batching policy (see :class:`MicroBatcher`).
     cache_size:
-        LRU capacity in windows; ``0`` disables caching.
+        **Global** cache budget in windows, shared across all deployments
+        with fair-share eviction; ``0`` disables caching.
     num_workers:
         Thread-pool width for batch post-processing (hashing, cache fills,
         future resolution).  Model forward passes themselves are serialized
@@ -54,23 +68,27 @@ class InferenceServer:
         this constraint.)
     """
 
+    #: Name of the deployment the legacy single-model constructor registers.
+    DEFAULT_DEPLOYMENT = "default"
+
     def __init__(
         self,
-        predict_fn: PredictFn,
+        predict_fn: Optional[PredictFn] = None,
         model_version: str = "v0",
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         cache_size: int = 1024,
         num_workers: int = 2,
+        router: Optional[Router] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        self.predict_fn = predict_fn
-        self.model_version = str(model_version)
+        cache = SharedPredictionCache(capacity=cache_size) if cache_size > 0 else None
+        self.pool = ModelPool(cache=cache)
+        self.router = router if router is not None else Router()
+        if predict_fn is not None:
+            self.pool.deploy(self.DEFAULT_DEPLOYMENT, predict_fn, version=model_version)
         self.batcher = MicroBatcher(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms)
-        self.cache: Optional[PredictionCache] = (
-            PredictionCache(capacity=cache_size) if cache_size > 0 else None
-        )
         self._pool = ThreadPoolExecutor(max_workers=num_workers, thread_name_prefix="repro-infer")
         self._dispatcher: Optional[threading.Thread] = None
         self._running = False
@@ -79,7 +97,12 @@ class InferenceServer:
         self._requests_served = 0
         self._batches_dispatched = 0
         self._model_windows = 0
+        self._shadow_windows = 0
         self._models_swapped = 0
+        self._promotions = 0
+        self._rollbacks = 0
+        self._route_fallbacks = 0
+        self._shadow_errors = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -113,8 +136,63 @@ class InferenceServer:
         self.stop()
 
     # ------------------------------------------------------------------ #
-    # Model management
+    # Deployment management
     # ------------------------------------------------------------------ #
+    @property
+    def cache(self) -> Optional[SharedPredictionCache]:
+        """The shared (deployment-namespaced) prediction cache."""
+        return self.pool.cache
+
+    @property
+    def model_version(self) -> Optional[str]:
+        """Version of the deployment on the default route (legacy surface)."""
+        name = self.pool.default_name
+        if name is None:
+            return None
+        deployment = self.pool.get(name)
+        return deployment.version if deployment is not None else None
+
+    @property
+    def predict_fn(self) -> Optional[PredictFn]:
+        """Predict function on the default route (legacy surface)."""
+        name = self.pool.default_name
+        if name is None:
+            return None
+        deployment = self.pool.get(name)
+        return deployment.predict_fn if deployment is not None else None
+
+    def deploy(self, name: str, model: Any, version: Optional[str] = None) -> Deployment:
+        """Register (or hot-replace) a named deployment.
+
+        ``model`` is a :class:`~repro.api.Forecaster`, a fitted UQ method, a
+        bare predict function, or a checkpoint directory path.  The first
+        deployment becomes the default route.
+        """
+        return self.pool.deploy(name, model, version=version)
+
+    def undeploy(self, name: str) -> Deployment:
+        """Retire a non-default deployment and free its cache namespace."""
+        return self.pool.undeploy(name)
+
+    def promote(self, name: str) -> Optional[str]:
+        """Atomically make ``name`` the default route; returns the previous name.
+
+        Same zero-drop semantics as :meth:`swap_model`: batches in flight
+        finish on the deployment they snapshotted.
+        """
+        previous = self.pool.promote(name)
+        with self._lock:
+            self._promotions += 1
+        return previous
+
+    def rollback(self, name: Optional[str] = None) -> str:
+        """Revert the default route to the previous promotion; see
+        :meth:`~repro.serving.pool.ModelPool.rollback`."""
+        new_default = self.pool.rollback(name)
+        with self._lock:
+            self._rollbacks += 1
+        return new_default
+
     @classmethod
     def from_checkpoint(
         cls,
@@ -139,8 +217,8 @@ class InferenceServer:
         )
         return cls(forecaster.predict, model_version=version, **kwargs)
 
-    def swap_model(self, model, version: str) -> str:
-        """Atomically replace the served model; returns the previous version.
+    def swap_model(self, model, version: str) -> Optional[str]:
+        """Atomically replace the default-route model; returns the previous version.
 
         ``model`` is anything with a batch ``predict`` method (a
         :class:`~repro.api.Forecaster`, a fitted UQ method) or a bare predict
@@ -148,23 +226,26 @@ class InferenceServer:
         one consistent ``(predict_fn, version)`` pair when it starts
         processing, so in-flight batches finish on whichever model they
         started with and later batches (and their cache keys) use the new
-        one.  Versioned cache keys mean stale entries can never be served.
+        one.  Versioned cache namespaces mean stale entries can never be
+        served.
         """
-        predict_fn = model.predict if hasattr(model, "predict") else model
-        if not callable(predict_fn):
-            raise TypeError("swap_model needs a predict function or an object with .predict")
+        predict_fn = resolve_predict_fn(model)
+        name = self.pool.default_name or self.DEFAULT_DEPLOYMENT
+        previous = self.pool.get(name)
+        self.pool.deploy(name, predict_fn, version=str(version))
         with self._lock:
-            previous = self.model_version
-            self.predict_fn = predict_fn
-            self.model_version = str(version)
             self._models_swapped += 1
-        return previous
+        return previous.version if previous is not None else None
 
     # ------------------------------------------------------------------ #
     # Client API
     # ------------------------------------------------------------------ #
-    def submit(self, window: np.ndarray) -> Future:
-        """Queue one ``(history, num_nodes)`` window; returns a future."""
+    def submit(self, window: np.ndarray, key: Optional[Any] = None) -> Future:
+        """Queue one ``(history, num_nodes)`` window; returns a future.
+
+        ``key`` is the routing key (region, corridor, ...) handed to the
+        router; servers without a key-aware router can ignore it.
+        """
         window = np.asarray(window, dtype=np.float64)
         if window.ndim != 2:
             raise ValueError(f"submit expects a single (history, num_nodes) window, got {window.shape}")
@@ -173,24 +254,41 @@ class InferenceServer:
                 raise RuntimeError(
                     "server is not running; call start() or use it as a context manager"
                 )
-            return self.batcher.submit(window)
+            # Routed inside the running check: a rejected submit must not
+            # charge stateful routers (deficit counters track *served*
+            # traffic, or a TrafficSplitRouter's realized shares drift).
+            decision = self.router.route(window, key=key)
+            return self.batcher.submit(
+                window, key=key, primary=decision.primary, shadows=decision.shadows
+            )
 
     def predict_many(
-        self, windows: Union[np.ndarray, Sequence[np.ndarray]], timeout: Optional[float] = 60.0
+        self,
+        windows: Union[np.ndarray, Sequence[np.ndarray]],
+        timeout: Optional[float] = 60.0,
+        keys: Optional[Sequence[Any]] = None,
     ) -> List[PredictionResult]:
         """Submit many windows at once and block for their results (in order)."""
-        futures = [self.submit(window) for window in windows]
+        if keys is None:
+            futures = [self.submit(window) for window in windows]
+        else:
+            futures = [self.submit(window, key=key) for window, key in zip(windows, keys)]
         return [future.result(timeout=timeout) for future in futures]
 
     @property
-    def stats(self) -> Dict[str, float]:
-        """Serving counters plus cache statistics."""
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters, cache statistics, and per-deployment stats."""
         with self._lock:
-            stats: Dict[str, float] = {
+            stats: Dict[str, Any] = {
                 "requests_served": self._requests_served,
                 "batches_dispatched": self._batches_dispatched,
                 "model_windows": self._model_windows,
+                "shadow_windows": self._shadow_windows,
                 "models_swapped": self._models_swapped,
+                "promotions": self._promotions,
+                "rollbacks": self._rollbacks,
+                "route_fallbacks": self._route_fallbacks,
+                "shadow_errors": self._shadow_errors,
                 "mean_batch_size": (
                     self._requests_served / self._batches_dispatched
                     if self._batches_dispatched
@@ -200,7 +298,16 @@ class InferenceServer:
         if self.cache is not None:
             for name, value in self.cache.stats.items():
                 stats[f"cache_{name}"] = value
+        stats["default_route"] = self.pool.default_name
+        stats["deployments"] = self.pool.stats
         return stats
+
+    def deployment_stats(self, name: str) -> Dict[str, float]:
+        """Counters and rolling shadow divergence of one deployment."""
+        deployment = self.pool.get(name)
+        if deployment is None:
+            raise KeyError(f"no deployment named {name!r}")
+        return deployment.stats
 
     # ------------------------------------------------------------------ #
     # Dispatcher
@@ -219,44 +326,48 @@ class InferenceServer:
             self._pool.submit(self._process_batch, leftover)
             leftover = self.batcher.next_batch(poll_timeout=0.0)
 
+    def _snapshot_routes(
+        self, batch: List[InferenceRequest]
+    ) -> Dict[Optional[str], Deployment]:
+        """One consistent route -> deployment view for the whole batch.
+
+        A route naming a deployment that vanished between submit and dispatch
+        falls back to the default route (counted, never dropped) — promotion
+        and rollback must not strand queued requests.
+        """
+        snapshot: Dict[Optional[str], Deployment] = {}
+        fallbacks = 0
+        for route in {request.primary for request in batch}:
+            try:
+                snapshot[route] = self.pool.resolve(route)
+            except KeyError:
+                snapshot[route] = self.pool.resolve(None)
+                fallbacks += 1
+        if fallbacks:
+            with self._lock:
+                self._route_fallbacks += fallbacks
+        return snapshot
+
     def _process_batch(self, batch: List[InferenceRequest]) -> None:
         try:
-            # One consistent (model, version) snapshot per batch: a concurrent
-            # swap_model() affects later batches, never a batch in flight.
-            with self._lock:
-                predict_fn = self.predict_fn
-                model_version = self.model_version
-            keys = [
-                prediction_cache_key(request.window, model_version) for request in batch
-            ]
-            resolved: Dict[str, PredictionResult] = {}
-            if self.cache is not None:
-                for key in set(keys):
-                    hit = self.cache.get(key)
-                    if hit is not None:
-                        resolved[key] = hit
-            # Model pass over unique uncached windows only.
-            pending_keys: List[str] = []
-            pending_windows: List[np.ndarray] = []
-            for request, key in zip(batch, keys):
-                if key not in resolved and key not in pending_keys:
-                    pending_keys.append(key)
-                    pending_windows.append(request.window)
-            if pending_windows:
-                stacked = np.stack(pending_windows, axis=0)
-                with self._predict_lock:
-                    result = predict_fn(stacked)
-                for offset, key in enumerate(pending_keys):
-                    # copy(): a plain slice would be a view pinning the whole
-                    # batch result in memory for the lifetime of the entry.
-                    sliced = result[offset].copy()
-                    resolved[key] = sliced
-                    if self.cache is not None:
-                        self.cache.put(key, sliced)
-                with self._lock:
-                    self._model_windows += len(pending_windows)
-            for request, key in zip(batch, keys):
-                request.future.set_result(resolved[key])
+            snapshot = self._snapshot_routes(batch)
+            # Group requests by the deployment object they resolved to: two
+            # routes (e.g. None and an explicit name) may share a deployment.
+            groups: Dict[int, Tuple[Deployment, List[InferenceRequest]]] = {}
+            for request in batch:
+                deployment = snapshot[request.primary]
+                groups.setdefault(id(deployment), (deployment, []))[1].append(request)
+            primary_results: Dict[int, PredictionResult] = {}
+            for deployment, requests in groups.values():
+                # Per-deployment failure domain: one model's bad checkpoint
+                # must not poison requests routed at the healthy ones.
+                try:
+                    self._run_primary(deployment, requests, primary_results)
+                except Exception as error:
+                    for request in requests:
+                        if not request.future.done():
+                            request.future.set_exception(error)
+            self._run_shadows(batch, snapshot, primary_results)
             with self._lock:
                 self._requests_served += len(batch)
                 self._batches_dispatched += 1
@@ -265,10 +376,123 @@ class InferenceServer:
                 if not request.future.done():
                     request.future.set_exception(error)
 
+    def _predict_group(
+        self,
+        deployment: Deployment,
+        requests: List[InferenceRequest],
+    ) -> Tuple[Dict[str, PredictionResult], int]:
+        """Resolve each request's window through cache + one stacked model pass.
+
+        Returns ``(key -> result, model_windows)`` covering every request;
+        duplicates within the group share one key and one forward slot.
+        """
+        keys = [
+            prediction_cache_key(request.window, deployment.namespace)
+            for request in requests
+        ]
+        resolved: Dict[str, PredictionResult] = {}
+        if self.cache is not None:
+            for key in set(keys):
+                hit = self.cache.get(deployment.namespace, key)
+                if hit is not None:
+                    resolved[key] = hit
+        pending_keys: List[str] = []
+        pending_windows: List[np.ndarray] = []
+        for request, key in zip(requests, keys):
+            if key not in resolved and key not in pending_keys:
+                pending_keys.append(key)
+                pending_windows.append(request.window)
+        if pending_windows:
+            stacked = np.stack(pending_windows, axis=0)
+            with self._predict_lock:
+                result = deployment.predict_fn(stacked)
+            for offset, key in enumerate(pending_keys):
+                # copy(): a plain slice would be a view pinning the whole
+                # batch result in memory for the lifetime of the entry.
+                sliced = result[offset].copy()
+                resolved[key] = sliced
+                if self.cache is not None:
+                    self.cache.put(deployment.namespace, key, sliced)
+        per_request = {
+            id(request): resolved[key] for request, key in zip(requests, keys)
+        }
+        return per_request, len(pending_windows)
+
+    def _run_primary(
+        self,
+        deployment: Deployment,
+        requests: List[InferenceRequest],
+        primary_results: Dict[int, PredictionResult],
+    ) -> None:
+        per_request, model_windows = self._predict_group(deployment, requests)
+        for request in requests:
+            result = per_request[id(request)]
+            primary_results[id(request)] = result
+            request.future.set_result(result)
+        deployment.record_served(len(requests), model_windows)
+        if model_windows:
+            with self._lock:
+                self._model_windows += model_windows
+
+    def _run_shadows(
+        self,
+        batch: List[InferenceRequest],
+        snapshot: Dict[Optional[str], Deployment],
+        primary_results: Dict[int, PredictionResult],
+    ) -> None:
+        """Mirror tagged requests to shadow deployments; never touches futures.
+
+        Shadow passes run after every client future has resolved, record
+        rolling |shadow - primary| divergence on the shadow deployment, and
+        warm its cache namespace; a failing shadow model is counted and
+        otherwise invisible to clients.
+        """
+        mirrored: Dict[str, List[InferenceRequest]] = defaultdict(list)
+        for request in batch:
+            for shadow in request.shadows:
+                mirrored[shadow].append(request)
+        for shadow, requests in mirrored.items():
+            deployment = self.pool.get(shadow)
+            if deployment is None:
+                continue
+            requests = [r for r in requests if snapshot[r.primary] is not deployment]
+            if not requests:
+                continue
+            try:
+                per_request, model_windows = self._predict_group(deployment, requests)
+                divergences = [
+                    float(np.mean(np.abs(
+                        per_request[id(r)].mean - primary_results[id(r)].mean
+                    )))
+                    for r in requests
+                    if id(r) in primary_results
+                ]
+                divergence = float(np.mean(divergences)) if divergences else None
+                deployment.record_shadow(model_windows, divergence=divergence)
+                if model_windows:
+                    with self._lock:
+                        self._shadow_windows += model_windows
+            except Exception:
+                with self._lock:
+                    self._shadow_errors += 1
+
+
+#: Per-method-name counters backing ``serve_method``'s default versions.
+_SERVE_COUNTERS: Dict[str, "itertools.count"] = defaultdict(itertools.count)
+_SERVE_COUNTERS_LOCK = threading.Lock()
+
 
 def serve_method(method, model_version: Optional[str] = None, **kwargs) -> InferenceServer:
-    """Build (but do not start) an :class:`InferenceServer` over a fitted UQ method."""
-    version = model_version if model_version is not None else f"{method.name}-{id(method):x}"
+    """Build (but do not start) an :class:`InferenceServer` over a fitted UQ method.
+
+    The default ``model_version`` is ``<method.name>-<counter>`` with a
+    per-name process-wide counter — stable across runs (unlike an ``id()``
+    scheme), so cache keys and version strings are reproducible, while
+    distinct servings of the same method still get distinct versions.
+    """
+    if model_version is None:
+        with _SERVE_COUNTERS_LOCK:
+            model_version = f"{method.name}-{next(_SERVE_COUNTERS[method.name])}"
     return InferenceServer(
-        lambda windows: method.predict(windows), model_version=version, **kwargs
+        lambda windows: method.predict(windows), model_version=model_version, **kwargs
     )

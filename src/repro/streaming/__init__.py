@@ -38,9 +38,13 @@ from repro.streaming.drift import (
     EventLog,
 )
 from repro.streaming.monitor import RollingStat, StreamingMonitor
+from repro.streaming.promotion import PROMOTION_MODES, CandidateTrial, PromotionPolicy
 from repro.streaming.runner import StepResult, StreamingForecaster
 
 __all__ = [
+    "PROMOTION_MODES",
+    "CandidateTrial",
+    "PromotionPolicy",
     "ACI_MODES",
     "ACIConfig",
     "AdaptiveConformalCalibrator",

@@ -32,9 +32,10 @@ the conformal interval.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +48,27 @@ ACI_MODES = ("static", "rolling", "aci")
 
 #: On-disk format revision of :meth:`AdaptiveConformalCalibrator.save`.
 ACI_FORMAT_VERSION = 1
+
+
+def _sorted_quantile(sorted_values: List[float], level: float) -> float:
+    """Linear-interpolated quantile of an already-sorted list.
+
+    Bit-identical to ``np.quantile(values, level)`` (the default ``linear``
+    method), including NumPy's symmetric lerp — ``b - (b - a) * (1 - t)``
+    when the fractional part is >= 0.5 — so switching the calibrator to the
+    sorted ring cannot move any pinned golden value.
+    """
+    n = len(sorted_values)
+    position = min(max(level, 0.0), 1.0) * (n - 1)
+    low = int(position)
+    t = position - low
+    a = sorted_values[low]
+    if t == 0.0 or low + 1 >= n:
+        return a
+    b = sorted_values[low + 1]
+    if t >= 0.5:
+        return b - (b - a) * (1.0 - t)
+    return a + (b - a) * t
 
 
 @dataclass
@@ -113,6 +135,10 @@ class AdaptiveConformalCalibrator:
         self._count = np.zeros(self.horizon, dtype=np.int64)
         self._pos = np.zeros(self.horizon, dtype=np.int64)
         self._frozen = np.zeros(self.horizon, dtype=bool)
+        # Sorted mirror of each ring buffer (bisect insert/remove), so the
+        # per-step quantile read is an O(1) index instead of an O(n log n)
+        # re-sort of the whole window.
+        self._sorted: List[List[float]] = [[] for _ in range(self.horizon)]
         self.updates = 0
 
     # ------------------------------------------------------------------ #
@@ -135,7 +161,7 @@ class AdaptiveConformalCalibrator:
                 quantiles[h] = norm_ppf(0.5 + level / 2.0)
                 continue
             corrected = conformal_quantile_level(n, self.alpha_t[h])
-            quantiles[h] = np.quantile(self._scores[h, :n], corrected)
+            quantiles[h] = _sorted_quantile(self._sorted[h], corrected)
         return quantiles
 
     @staticmethod
@@ -202,11 +228,26 @@ class AdaptiveConformalCalibrator:
             return
         if scores.size >= cfg.window:
             scores = scores[-cfg.window :]
-        slots = (self._pos[h] + np.arange(scores.size)) % cfg.window
-        self._scores[h, slots] = scores
-        self._pos[h] = (self._pos[h] + scores.size) % cfg.window
-        self._count[h] = min(self._count[h] + scores.size, cfg.window)
-        if cfg.mode == "static" and self._count[h] == cfg.window:
+        # Ring write + sorted-mirror maintenance: each insert evicts the
+        # oldest score once the window is full, removing it from the sorted
+        # list by bisect before the replacement is insort-ed back in.
+        sorted_h = self._sorted[h]
+        pos = int(self._pos[h])
+        count = int(self._count[h])
+        row = self._scores[h]
+        for value in scores:
+            value = float(value)
+            if count == cfg.window:
+                evicted = row[pos]
+                sorted_h.pop(bisect_left(sorted_h, evicted))
+            else:
+                count += 1
+            row[pos] = value
+            insort(sorted_h, value)
+            pos = (pos + 1) % cfg.window
+        self._pos[h] = pos
+        self._count[h] = count
+        if cfg.mode == "static" and count == cfg.window:
             # Split-conformal baseline: calibration set fixed once full.
             self._frozen[h] = True
 
@@ -252,6 +293,7 @@ class AdaptiveConformalCalibrator:
         self._count[:] = 0
         self._pos[:] = 0
         self._frozen[:] = False
+        self._sorted = [[] for _ in range(self.horizon)]
         if not keep_alpha:
             self.alpha_t[:] = self.config.significance
 
@@ -294,6 +336,10 @@ class AdaptiveConformalCalibrator:
         self._count = np.asarray(arrays["aci.count"], dtype=np.int64).copy()
         self._pos = np.asarray(arrays["aci.pos"], dtype=np.int64).copy()
         self._frozen = np.asarray(arrays["aci.frozen"], dtype=bool).copy()
+        self._sorted = [
+            sorted(self._scores[h, : int(self._count[h])].tolist())
+            for h in range(self.horizon)
+        ]
         return self
 
     def save(self, directory: Union[str, Path]) -> Path:

@@ -19,8 +19,8 @@ boolean flag.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -40,6 +40,24 @@ class DriftEvent:
     def __str__(self) -> str:
         text = f"[step {self.step}] {self.kind}: value={self.value:.4g} threshold={self.threshold:.4g}"
         return f"{text} — {self.message}" if self.message else text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (float fields stay Python floats)."""
+        record = asdict(self)
+        record["step"] = int(record["step"])
+        record["value"] = float(record["value"])
+        record["threshold"] = float(record["threshold"])
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "DriftEvent":
+        return cls(
+            kind=str(record["kind"]),
+            step=int(record["step"]),
+            value=float(record["value"]),
+            threshold=float(record["threshold"]),
+            message=str(record.get("message", "")),
+        )
 
 
 class CoverageBreachDetector:
@@ -80,6 +98,7 @@ class CoverageBreachDetector:
         self.patience = int(patience)
         self.warmup = int(warmup)
         self._coverage = RollingStat(window)
+        self._scored = 0
         self._breached_steps = 0
 
     @property
@@ -91,7 +110,11 @@ class CoverageBreachDetector:
         if covered_fraction is None:
             return None
         self._coverage.push(float(covered_fraction))
-        if self._coverage.count < max(self.warmup, 1):
+        # Warm up on total scored steps, not the ring count: the ring caps at
+        # ``window``, so a warmup longer than the window would otherwise
+        # disarm the detector forever.
+        self._scored += 1
+        if self._scored < max(self.warmup, 1):
             return None
         coverage = self._coverage.mean
         threshold = self.nominal - self.tolerance
@@ -115,6 +138,7 @@ class CoverageBreachDetector:
 
     def reset(self) -> None:
         self._coverage.reset()
+        self._scored = 0
         self._breached_steps = 0
 
 
@@ -203,6 +227,14 @@ class EventLog:
 
     def of_kind(self, kind: str) -> List[DriftEvent]:
         return [event for event in self.events if event.kind == kind]
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """The full log as JSON-serializable records (oldest first)."""
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_records(cls, records: List[Dict[str, Any]]) -> "EventLog":
+        return cls(events=[DriftEvent.from_dict(record) for record in records])
 
     def __len__(self) -> int:
         return len(self.events)

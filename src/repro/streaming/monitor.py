@@ -58,6 +58,28 @@ class RollingStat:
         self._count = 0
         self._sum = 0.0
 
+    def get_state(self) -> Dict[str, np.ndarray]:
+        """Ring buffer + cursor + running sum as named arrays (bit-exact)."""
+        return {
+            "values": self._values.copy(),
+            "pos": np.array(self._pos, dtype=np.int64),
+            "count": np.array(self._count, dtype=np.int64),
+            "sum": np.array(self._sum, dtype=np.float64),
+        }
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> "RollingStat":
+        """Restore a :meth:`get_state` snapshot (bit-identical round trip)."""
+        values = np.asarray(state["values"], dtype=np.float64)
+        if values.shape != (self.window,):
+            raise ValueError(
+                f"state holds a window of {values.shape[0]}, stat expects {self.window}"
+            )
+        self._values = values.copy()
+        self._pos = int(state["pos"])
+        self._count = int(state["count"])
+        self._sum = float(state["sum"])
+        return self
+
     def values(self) -> np.ndarray:
         """The buffered values, oldest first (a copy)."""
         if self._count < self.window:
@@ -161,6 +183,62 @@ class StreamingMonitor:
         }
 
     def reset(self) -> None:
-        for stat in (self._covered, self._width, self._abs_error, self._sq_error, self._winkler):
+        for stat in self._stats().values():
             stat.reset()
         self.steps = 0
+
+    # ------------------------------------------------------------------ #
+    # State protocol (matches the calibrator / UQMethod shape)
+    # ------------------------------------------------------------------ #
+    def _stats(self) -> Dict[str, RollingStat]:
+        return {
+            "covered": self._covered,
+            "width": self._width,
+            "abs_error": self._abs_error,
+            "sq_error": self._sq_error,
+            "winkler": self._winkler,
+        }
+
+    def get_state(self) -> Dict[str, Any]:
+        """Full rolling state as ``{"meta": ..., "arrays": ...}``.
+
+        Restoring it through :meth:`set_state` reproduces every rolling
+        metric bit-identically, so monitors survive a serving restart
+        instead of re-warming from empty windows.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for label, stat in self._stats().items():
+            for key, value in stat.get_state().items():
+                arrays[f"monitor.{label}.{key}"] = value
+        return {
+            "meta": {
+                "kind": "monitor",
+                "window": self.window,
+                "significance": self.significance,
+                "steps": self.steps,
+            },
+            "arrays": arrays,
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> "StreamingMonitor":
+        """Restore a :meth:`get_state` snapshot (bit-identical round trip)."""
+        meta = state["meta"]
+        if meta.get("kind") != "monitor":
+            raise ValueError(
+                f"state was saved by {meta.get('kind')!r}, not a streaming monitor"
+            )
+        if int(meta["window"]) != self.window:
+            raise ValueError(
+                f"state has window {meta['window']}, monitor expects {self.window}"
+            )
+        self.significance = float(meta["significance"])
+        self.steps = int(meta["steps"])
+        arrays = state["arrays"]
+        for label, stat in self._stats().items():
+            stat.set_state(
+                {
+                    key: arrays[f"monitor.{label}.{key}"]
+                    for key in ("values", "pos", "count", "sum")
+                }
+            )
+        return self

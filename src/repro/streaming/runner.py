@@ -13,10 +13,14 @@ entries mark dropped-out sensors) and
    the configured detectors;
 3. on drift, **recalibrates**: the nonconformity buffers are rebuilt from
    post-drift data and, when a ``refit_fn`` is configured, a replacement
-   model is fitted (in a background thread by default) and published through
-   :meth:`~repro.serving.server.InferenceServer.swap_model`, which never
-   drops in-flight requests;
-4. **forecasts** the next ``horizon`` steps from the updated history window
+   model is fitted (in a background thread by default);
+4. **publishes** the refit according to the configured
+   :class:`~repro.streaming.promotion.PromotionPolicy` — immediately (the
+   legacy ``swap_model`` path), or after a shadow/canary trial in which the
+   candidate is scored on live observations against the incumbent and
+   promoted only when its rolling MAE/coverage win; either way zero
+   in-flight requests are dropped;
+5. **forecasts** the next ``horizon`` steps from the updated history window
    and emits width-adapted conformal intervals.
 
 The runner is deliberately model-agnostic: anything with a batch ``predict``
@@ -43,6 +47,7 @@ from repro.streaming.drift import (
     EventLog,
 )
 from repro.streaming.monitor import StreamingMonitor
+from repro.streaming.promotion import CandidateTrial, PromotionPolicy
 
 
 @dataclass
@@ -57,6 +62,7 @@ class StepResult:
     upper: Optional[np.ndarray]
     coverage: float                          # rolling coverage (percent; NaN early on)
     events: List[DriftEvent] = field(default_factory=list)
+    served_by: str = "incumbent"             # "incumbent" | "candidate" (canary trials)
 
 
 class StreamingForecaster:
@@ -98,6 +104,14 @@ class StreamingForecaster:
         Run ``refit_fn`` on a daemon thread (default) or synchronously.
     version_prefix:
         Prefix of the versions published to ``server`` on swap.
+    promotion:
+        How refits are published: ``"immediate"`` (default, the legacy
+        instant swap), ``"shadow"`` or ``"canary"`` — or a full
+        :class:`~repro.streaming.promotion.PromotionPolicy`.  Non-immediate
+        modes stage the refit as a candidate, score it on live observations
+        against the incumbent, and promote only when its rolling
+        MAE/coverage beat the incumbent's; a losing candidate is rejected
+        and, if it was deployed to the server, rolled back.
     """
 
     def __init__(
@@ -115,6 +129,7 @@ class StreamingForecaster:
         cooldown: int = 100,
         background_refit: bool = True,
         version_prefix: str = "stream",
+        promotion: Union[str, PromotionPolicy] = "immediate",
     ) -> None:
         self.forecaster = forecaster
         self.history, self.horizon = self._resolve_geometry(forecaster, history, horizon)
@@ -147,6 +162,11 @@ class StreamingForecaster:
         self.cooldown = int(cooldown)
         self.background_refit = bool(background_refit)
         self.version_prefix = str(version_prefix)
+        self.promotion_policy = (
+            promotion
+            if isinstance(promotion, PromotionPolicy)
+            else PromotionPolicy(mode=str(promotion))
+        )
         self.event_log = EventLog()
 
         self._predict: Callable[[np.ndarray], PredictionResult] = forecaster.predict
@@ -159,6 +179,8 @@ class StreamingForecaster:
         self._last_trigger: Optional[int] = None
         self._refit_thread: Optional[threading.Thread] = None
         self._refit_count = 0
+        self._trial: Optional[CandidateTrial] = None
+        self._displaced: Optional[str] = None  # incumbent kept for manual rollback
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -190,6 +212,12 @@ class StreamingForecaster:
     def warmed_up(self) -> bool:
         return len(self._history) == self.history
 
+    @property
+    def trial(self) -> Optional[CandidateTrial]:
+        """The live candidate trial while a shadow/canary evaluation runs."""
+        with self._lock:
+            return self._trial
+
     # ------------------------------------------------------------------ #
     # The online loop
     # ------------------------------------------------------------------ #
@@ -203,9 +231,18 @@ class StreamingForecaster:
             valid &= np.asarray(mask, dtype=bool).reshape(-1)
         s = self._step
         events: List[DriftEvent] = []
+        with self._lock:
+            trial = self._trial
 
-        # 1. Resolve pending forecasts this observation completes.
-        covered, abs_error = self._score_pending(s, obs, valid)
+        # 1. Resolve pending forecasts this observation completes — the
+        #    incumbent's always, and a trialed candidate's alongside.
+        covered, abs_error = self._score_pending(s, obs, valid, trial)
+        if trial is not None:
+            trial.resolve(s, obs, valid)
+            decision = trial.verdict()
+            if decision is not None:
+                events.extend(self._finish_trial(trial, decision, s))
+                trial = None
 
         # 2. Route the step's signals through the drift detectors.
         signals = {"coverage": covered, "abs_error": abs_error}
@@ -215,7 +252,7 @@ class StreamingForecaster:
                 events.append(self.event_log.append(event))
 
         # 3. Drift-triggered recalibration (rate-limited by the cooldown,
-        #    and never overlapping an in-flight refit).
+        #    and never overlapping an in-flight refit or a running trial).
         if events and self._can_trigger(s):
             self._trigger_recalibration(events[0], s)
 
@@ -230,6 +267,7 @@ class StreamingForecaster:
 
         # 5. Forecast the next horizon from the updated window.
         prediction = lower = upper = None
+        served_by = "incumbent"
         if self.warmed_up:
             window = np.stack(self._history, axis=0)[None]
             with self._lock:
@@ -249,6 +287,20 @@ class StreamingForecaster:
                     "upper": upper,
                 }
             )
+            # During a trial the candidate forecasts the same window; in
+            # canary mode it also serves its share of the emitted forecasts.
+            if trial is not None:
+                candidate_raw = trial.predict(window)
+                with self._lock:
+                    cand_lower_b, cand_upper_b = self.calibrator.intervals(candidate_raw)
+                    candidate_calibrated = self.calibrator.calibrate(candidate_raw)
+                trial.record(
+                    s, candidate_raw.mean[0], cand_lower_b[0], cand_upper_b[0]
+                )
+                if trial.serve_candidate_now():
+                    prediction = candidate_calibrated
+                    lower, upper = cand_lower_b[0], cand_upper_b[0]
+                    served_by = "candidate"
 
         self._step += 1
         return StepResult(
@@ -260,6 +312,7 @@ class StreamingForecaster:
             upper=upper,
             coverage=self.monitor.coverage,
             events=events,
+            served_by=served_by,
         )
 
     def run(
@@ -275,10 +328,14 @@ class StreamingForecaster:
 
     # ------------------------------------------------------------------ #
     def _score_pending(
-        self, s: int, obs: np.ndarray, valid: np.ndarray
+        self,
+        s: int,
+        obs: np.ndarray,
+        valid: np.ndarray,
+        trial: Optional[CandidateTrial] = None,
     ) -> Tuple[Optional[float], Optional[float]]:
         """Score every pending forecast row resolved by observation ``s``."""
-        targets, means, lowers, uppers = [], [], [], []
+        targets, means, lowers, uppers, steps = [], [], [], [], []
         masked = np.where(valid, obs, np.nan)
         with self._lock:
             for entry in self._pending:
@@ -291,6 +348,7 @@ class StreamingForecaster:
                 means.append(mu)
                 lowers.append(lo)
                 uppers.append(up)
+                steps.append(entry["step"])
                 if valid.any():
                     scores = np.abs(obs[valid] - mu[valid]) / scale[valid]
                     miss = float(((obs[valid] < lo[valid]) | (obs[valid] > up[valid])).mean())
@@ -301,7 +359,13 @@ class StreamingForecaster:
             return None, None
         target = np.stack(targets)
         mean = np.stack(means)
-        covered = self.monitor.update(target, mean, np.stack(lowers), np.stack(uppers))
+        lower = np.stack(lowers)
+        upper = np.stack(uppers)
+        covered = self.monitor.update(target, mean, lower, upper)
+        if trial is not None:
+            # Same resolved rows, restricted to post-trial forecasts, so the
+            # incumbent-vs-candidate comparison covers identical windows.
+            trial.observe_incumbent(target, mean, lower, upper, np.asarray(steps))
         finite = np.isfinite(target)
         abs_error = (
             float(np.mean(np.abs(target[finite] - mean[finite]))) if finite.any() else None
@@ -309,14 +373,18 @@ class StreamingForecaster:
         return covered, abs_error
 
     def _can_trigger(self, s: int) -> bool:
-        """Cooldown elapsed and no background refit still running.
+        """Cooldown elapsed, no refit in flight, and no trial still running.
 
         The in-flight guard matters beyond thread count: were a second refit
         allowed to start, the *older-data* one could finish last and publish
-        a stale model over the fresher one.
+        a stale model over the fresher one — and a second candidate would
+        corrupt the running trial's like-for-like comparison.
         """
         if self._refit_thread is not None and self._refit_thread.is_alive():
             return False
+        with self._lock:
+            if self._trial is not None:
+                return False
         return self._last_trigger is None or s - self._last_trigger >= self.cooldown
 
     def _trigger_recalibration(self, cause: DriftEvent, s: int) -> None:
@@ -335,29 +403,34 @@ class StreamingForecaster:
 
         def work() -> None:
             try:
+                staged = False
                 if self.refit_fn is not None:
                     model = self.refit_fn(recent)
                     predict = model.predict if hasattr(model, "predict") else model
                     if not callable(predict):
                         raise TypeError("refit_fn must return a predictor or predict function")
-                    with self._lock:
-                        # Adopt the replacement wholesale so save() persists
-                        # the model actually serving, not the pre-drift one.
-                        self.forecaster = model
-                        self._predict = predict
-                        self._refit_count += 1
-                        version = f"{self.version_prefix}-recal{self._refit_count}"
-                    if self.server is not None:
-                        previous = self.server.swap_model(model, version=version)
-                        self.event_log.append(
-                            DriftEvent(
-                                kind="model_swapped",
-                                step=s,
-                                value=float(self._refit_count),
-                                threshold=0.0,
-                                message=f"{previous} -> {version}",
+                    if self.promotion_policy.mode == "immediate":
+                        with self._lock:
+                            # Adopt the replacement wholesale so save() persists
+                            # the model actually serving, not the pre-drift one.
+                            self.forecaster = model
+                            self._predict = predict
+                            self._refit_count += 1
+                            version = f"{self.version_prefix}-recal{self._refit_count}"
+                        if self.server is not None:
+                            previous = self.server.swap_model(model, version=version)
+                            self.event_log.append(
+                                DriftEvent(
+                                    kind="model_swapped",
+                                    step=s,
+                                    value=float(self._refit_count),
+                                    threshold=0.0,
+                                    message=f"{previous} -> {version}",
+                                )
                             )
-                        )
+                    else:
+                        self._stage_candidate(model, predict, s)
+                        staged = True
                 with self._lock:
                     # Pre-drift scores only slow adaptation down; refill the
                     # nonconformity buffers from post-drift data.
@@ -369,7 +442,11 @@ class StreamingForecaster:
                         value=float(self._refit_count),
                         threshold=0.0,
                         message="conformal state rebuilt"
-                        + (", model refitted" if self.refit_fn is not None else ""),
+                        + (
+                            ", candidate staged"
+                            if staged
+                            else (", model refitted" if self.refit_fn is not None else "")
+                        ),
                     )
                 )
             except Exception as error:  # surfaced via the event log, not the loop
@@ -391,6 +468,144 @@ class StreamingForecaster:
         else:
             work()
 
+    # ------------------------------------------------------------------ #
+    # Candidate trials (shadow / canary promotion)
+    # ------------------------------------------------------------------ #
+    def _server_supports_pool(self) -> bool:
+        return (
+            self.server is not None
+            and hasattr(self.server, "deploy")
+            and hasattr(self.server, "router")
+        )
+
+    def _stage_candidate(self, model: Any, predict: Callable, s: int) -> None:
+        """Open a shadow/canary trial instead of adopting the refit outright."""
+        policy = self.promotion_policy
+        with self._lock:
+            self._refit_count += 1
+            count = self._refit_count
+            name = f"{self.version_prefix}-cand{count}"
+            version = f"{self.version_prefix}-recal{count}"
+            trial = CandidateTrial(
+                model,
+                predict,
+                policy,
+                # The first step where *both* models are guaranteed to have
+                # forecast: scoring earlier steps would judge the pair on
+                # different windows.
+                start_step=self._step + 1,
+                horizon=self.horizon,
+                nominal=1.0 - self.calibrator.config.significance,
+                name=name,
+                version=version,
+            )
+        if self._server_supports_pool():
+            # Expose the candidate to external traffic for the trial: shadow
+            # mirrors every request, canary serves its weighted share.  The
+            # caller's router is restored when the trial ends.
+            from repro.serving.router import ShadowRouter, TrafficSplitRouter
+
+            self.server.deploy(name, model, version=version)
+            trial.deployed = True
+            trial.previous_router = self.server.router
+            if policy.mode == "shadow":
+                self.server.router = ShadowRouter(
+                    shadows=[name], inner=trial.previous_router
+                )
+            else:
+                # The non-canary share keeps the caller's routing intact.
+                self.server.router = TrafficSplitRouter(
+                    {None: 1.0 - policy.canary_fraction, name: policy.canary_fraction},
+                    inner=trial.previous_router,
+                )
+        with self._lock:
+            self._trial = trial
+        self.event_log.append(
+            DriftEvent(
+                kind="candidate_staged",
+                step=s,
+                value=float(count),
+                threshold=0.0,
+                message=(
+                    f"{policy.mode} trial of {name} ({version}), "
+                    f"verdict after {policy.eval_steps} scored steps"
+                ),
+            )
+        )
+
+    def _finish_trial(
+        self, trial: CandidateTrial, decision: Dict[str, Any], s: int
+    ) -> List[DriftEvent]:
+        """Promote or reject the trialed candidate; returns the logged events."""
+        events: List[DriftEvent] = []
+        promote = bool(decision["promote"])
+        with self._lock:
+            self._trial = None
+            if promote:
+                # Adopt the winner wholesale so save() persists the model
+                # actually serving, not the losing incumbent.
+                self.forecaster = trial.model
+                self._predict = trial.predict
+        if trial.deployed:
+            # Restore the caller's router before touching the route table so
+            # no new request targets a retiring candidate.
+            self.server.router = trial.previous_router
+            if promote:
+                previous = self.server.promote(trial.name)
+                # Keep exactly one displaced generation around for a manual
+                # rollback; older ones would otherwise accumulate in the
+                # pool forever on a long drifting stream.
+                stale, self._displaced = self._displaced, previous
+                if stale is not None and stale in self.server.pool:
+                    self.server.undeploy(stale)
+                events.append(
+                    DriftEvent(
+                        kind="model_swapped",
+                        step=s,
+                        value=float(self._refit_count),
+                        threshold=0.0,
+                        message=f"{previous} -> {trial.name} ({trial.version})",
+                    )
+                )
+            else:
+                # Never promoted, so retiring it cannot touch the default
+                # route; queued requests routed at it fall back, zero drops.
+                self.server.undeploy(trial.name)
+        elif self.server is not None and promote:
+            previous = self.server.swap_model(trial.model, version=trial.version)
+            events.append(
+                DriftEvent(
+                    kind="model_swapped",
+                    step=s,
+                    value=float(self._refit_count),
+                    threshold=0.0,
+                    message=f"{previous} -> {trial.version}",
+                )
+            )
+        if promote:
+            with self._lock:
+                # The winner's residual scale differs from the incumbent's;
+                # rebuild the nonconformity buffers against it.
+                self.calibrator.reset_scores(keep_alpha=True)
+        events.append(
+            DriftEvent(
+                kind="candidate_promoted" if promote else "candidate_rejected",
+                step=s,
+                value=decision["candidate_mae"],
+                threshold=decision["incumbent_mae"],
+                message=(
+                    f"{trial.name}: MAE {decision['candidate_mae']:.4g} vs "
+                    f"incumbent {decision['incumbent_mae']:.4g}, coverage "
+                    f"{decision['candidate_coverage']:.1f}% vs "
+                    f"{decision['incumbent_coverage']:.1f}% over "
+                    f"{decision['scored_steps']} scored steps"
+                ),
+            )
+        )
+        for event in events:
+            self.event_log.append(event)
+        return events
+
     def join_refit(self, timeout: Optional[float] = 30.0) -> None:
         """Block until any in-flight background refit has finished."""
         thread = self._refit_thread
@@ -402,20 +617,42 @@ class StreamingForecaster:
     # ------------------------------------------------------------------ #
     MODEL_SUBDIR = "model"
     ACI_SUBDIR = "aci"
+    STREAM_SUBDIR = "stream"
+
+    #: On-disk format revision of the runner-state checkpoint.
+    STREAM_FORMAT_VERSION = 1
 
     def save(self, directory: Union[str, Path]) -> Path:
-        """Persist the ACI state (always) and the wrapped forecaster (if it can).
+        """Persist calibration + monitor + event log (always) and the model (if it can).
 
-        The calibration state round-trips bit-identically through the shared
-        ``get_state`` / ``set_state`` array protocol; forecasters exposing
+        The ACI calibration state, the rolling :class:`StreamingMonitor`
+        windows and the drift-event log all round-trip bit-identically
+        through the shared ``get_state`` / ``set_state`` array protocol, so
+        a restarted serving process resumes with warm metrics and its full
+        operational history instead of empty windows.  Forecasters exposing
         ``save`` (the :class:`~repro.api.Forecaster` facade) are stored
         alongside so :meth:`load` restores the entire streaming system.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        from repro.utils.serialization import save_checkpoint
+
         with self._lock:
             forecaster = self.forecaster
             self.calibrator.save(directory / self.ACI_SUBDIR)
+            monitor_state = self.monitor.get_state()
+            stream_meta = {
+                "kind": "stream",
+                "format_version": self.STREAM_FORMAT_VERSION,
+                "step": self._step,
+                "last_trigger": self._last_trigger,
+                "refit_count": self._refit_count,
+                "monitor": monitor_state["meta"],
+                "events": self.event_log.to_records(),
+            }
+        save_checkpoint(
+            directory / self.STREAM_SUBDIR, stream_meta, monitor_state["arrays"]
+        )
         saver = getattr(forecaster, "save", None)
         if callable(saver):
             saver(directory / self.MODEL_SUBDIR)
@@ -431,7 +668,9 @@ class StreamingForecaster:
         """Rebuild a streaming forecaster from a :meth:`save` directory.
 
         ``forecaster`` overrides (or substitutes, for non-checkpointable
-        predictors) the stored model checkpoint.
+        predictors) the stored model checkpoint.  Monitor state and the
+        event log are restored when present (checkpoints written before the
+        runner-state format simply start with fresh monitors).
         """
         directory = Path(directory)
         calibrator = AdaptiveConformalCalibrator.load(directory / cls.ACI_SUBDIR)
@@ -444,7 +683,32 @@ class StreamingForecaster:
             from repro.api import Forecaster
 
             forecaster = Forecaster.load(model_dir)
-        return cls(forecaster, calibrator=calibrator, **kwargs)
+        runner = cls(forecaster, calibrator=calibrator, **kwargs)
+        stream_dir = directory / cls.STREAM_SUBDIR
+        if stream_dir.exists():
+            from repro.utils.serialization import load_checkpoint
+
+            meta, arrays = load_checkpoint(stream_dir)
+            version = meta.get("format_version")
+            if version != cls.STREAM_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported stream checkpoint format {version!r} "
+                    f"(this build reads version {cls.STREAM_FORMAT_VERSION})"
+                )
+            monitor_meta = meta["monitor"]
+            if runner.monitor.window != int(monitor_meta["window"]):
+                runner.monitor = StreamingMonitor(
+                    window=int(monitor_meta["window"]),
+                    significance=float(monitor_meta["significance"]),
+                )
+            runner.monitor.set_state({"meta": monitor_meta, "arrays": arrays})
+            runner.event_log = EventLog.from_records(meta["events"])
+            runner._step = int(meta["step"])
+            runner._last_trigger = (
+                int(meta["last_trigger"]) if meta["last_trigger"] is not None else None
+            )
+            runner._refit_count = int(meta["refit_count"])
+        return runner
 
     def __repr__(self) -> str:
         return (

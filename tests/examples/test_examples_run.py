@@ -25,7 +25,7 @@ class TestExamples:
         scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert {"quickstart.py", "compare_uq_methods.py", "emergency_routing.py",
                 "custom_dataset.py", "serving_demo.py",
-                "streaming_dashboard.py"}.issubset(scripts)
+                "streaming_dashboard.py", "canary_promotion.py"}.issubset(scripts)
 
     def test_quickstart_fast(self):
         result = _run("quickstart.py", "--fast", "--epochs", "2")
@@ -53,6 +53,14 @@ class TestExamples:
         result = _run("custom_dataset.py", "--fast", "--days", "3")
         assert result.returncode == 0, result.stderr
         assert "DeepSTUQ" in result.stdout
+
+    def test_canary_promotion_fast(self):
+        result = _run("canary_promotion.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "candidate_staged" in result.stdout
+        assert "candidate_promoted" in result.stdout
+        assert "candidate_rejected" in result.stdout
+        assert "dropped: 0" in result.stdout
 
     def test_streaming_dashboard_fast(self):
         result = _run("streaming_dashboard.py", "--fast")

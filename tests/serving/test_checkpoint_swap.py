@@ -63,6 +63,20 @@ class TestFromCheckpoint:
         with pytest.raises(FileNotFoundError):
             InferenceServer.from_checkpoint(tmp_path / "missing")
 
+    def test_forecaster_deploys_onto_a_pool(self, fitted_and_windows, checkpoint):
+        """Facade deploy + checkpoint-path deploy serve identical predictions."""
+        forecaster, windows = fitted_and_windows
+        server = InferenceServer(cache_size=0)
+        deployment = forecaster.deploy(server, "live")
+        assert deployment.version == "MVE-AGCRN"  # spec-derived default
+        server.deploy("from-disk", checkpoint)     # checkpoint directory path
+        with server:
+            live = server.predict_many(list(windows[:4]))
+            server.promote("from-disk")
+            disk = server.predict_many(list(windows[:4]))
+        for a, b in zip(live, disk):
+            np.testing.assert_array_equal(a.mean, b.mean)
+
 
 class TestHotSwap:
     def _constant_predictor(self, value):

@@ -239,3 +239,57 @@ class TestStatePersistence:
         meta_file.write_text(json.dumps(meta))
         with pytest.raises(ValueError, match="format"):
             AdaptiveConformalCalibrator.load(path)
+
+
+class TestSortedRingQuantiles:
+    """The O(log n) sorted-ring read must be bit-identical to np.quantile."""
+
+    def _reference_quantiles(self, calibrator):
+        """The legacy implementation: re-sort the raw ring every call."""
+        from repro.metrics.uncertainty import conformal_quantile_level
+
+        cfg = calibrator.config
+        reference = np.empty(calibrator.horizon)
+        for h in range(calibrator.horizon):
+            n = int(calibrator._count[h])
+            if n < cfg.min_scores:
+                level = 1.0 - calibrator.alpha_t[h]
+                reference[h] = norm_ppf(0.5 + level / 2.0)
+                continue
+            corrected = conformal_quantile_level(n, calibrator.alpha_t[h])
+            reference[h] = np.quantile(calibrator._scores[h, :n], corrected)
+        return reference
+
+    @pytest.mark.parametrize("mode", ["static", "rolling", "aci"])
+    def test_matches_np_quantile_through_an_online_stream(self, mode, rng):
+        calibrator = AdaptiveConformalCalibrator(
+            3, config=ACIConfig(mode=mode, window=97, min_scores=5)
+        )
+        for _ in range(300):
+            for h in range(3):
+                scores = rng.gamma(2.0, 1.0, size=int(rng.integers(0, 9)))
+                calibrator.update(h, scores, miscoverage=float(rng.uniform(0.0, 0.2)))
+            np.testing.assert_array_equal(
+                calibrator.quantiles(), self._reference_quantiles(calibrator)
+            )
+
+    def test_sorted_mirror_survives_reset_and_state_restore(self, rng):
+        calibrator = AdaptiveConformalCalibrator(
+            2, config=ACIConfig(window=50, min_scores=5)
+        )
+        for _ in range(120):
+            for h in range(2):
+                calibrator.update(h, rng.gamma(2.0, 1.0, size=4), miscoverage=0.05)
+        restored = AdaptiveConformalCalibrator(
+            2, config=ACIConfig(window=50, min_scores=5)
+        ).set_state(calibrator.get_state())
+        np.testing.assert_array_equal(restored.quantiles(), calibrator.quantiles())
+        np.testing.assert_array_equal(
+            restored.quantiles(), self._reference_quantiles(restored)
+        )
+        calibrator.reset_scores()
+        for h in range(2):
+            calibrator.update(h, rng.gamma(2.0, 1.0, size=30), miscoverage=0.05)
+        np.testing.assert_array_equal(
+            calibrator.quantiles(), self._reference_quantiles(calibrator)
+        )

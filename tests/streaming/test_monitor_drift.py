@@ -119,6 +119,24 @@ class TestStreamingMonitor:
 
 
 class TestCoverageBreachDetector:
+    def test_warmup_longer_than_window_still_arms(self):
+        """Regression: warmup used the ring count (capped at window), so any
+        warmup > window left the detector permanently disarmed."""
+        detector = CoverageBreachDetector(
+            nominal=0.95, tolerance=0.08, window=100, patience=25, warmup=300
+        )
+        fired = []
+        step = 0
+        for _ in range(350):  # healthy warm-up phase
+            if detector.update(step, 0.95) is not None:
+                fired.append(step)
+            step += 1
+        for _ in range(200):  # sustained collapse
+            if detector.update(step, 0.60) is not None:
+                fired.append(step)
+            step += 1
+        assert fired, "detector never armed although warmup elapsed"
+
     def test_fires_after_patience_breached_steps(self):
         detector = CoverageBreachDetector(
             nominal=0.95, tolerance=0.05, window=20, patience=5, warmup=10
