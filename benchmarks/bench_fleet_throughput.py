@@ -1,0 +1,159 @@
+"""Fleet throughput — batched fleet ticks vs. N independent streaming loops.
+
+The fleet's claim: funneling every stream's per-tick predict through one
+shared micro-batched :class:`~repro.serving.InferenceServer` turns a tick
+over N streams into ``O(ceil(N / batch))`` model calls instead of N.  This
+benchmark measures exactly that, end to end, with a realistic model cost —
+an MC-dropout AGCRN (the same untrained-forward setup as
+``bench_serving_throughput``) whose per-call dispatch overhead is what the
+batching amortizes:
+
+* **per-stream loop** — N independent :class:`StreamingForecaster` runners,
+  each calling ``predict`` on its own batch-of-1 window every tick;
+* **fleet tick** — one :class:`~repro.fleet.StreamFleet` over the same N
+  streams and the same model behind a shared server.
+
+Both sides pay the identical per-stream ACI/monitor cost, so the measured
+gap is the serving-path win.  The acceptance gate is **>= 3x at 64
+streams**; results land in ``benchmarks/results/fleet_throughput.txt``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.inference import BatchedPredictor
+from repro.data import StreamingTrafficFeed
+from repro.data.scalers import StandardScaler
+from repro.evaluation import format_rows
+from repro.fleet import StreamFleet
+from repro.graph import grid_network
+from repro.models.agcrn import AGCRN
+from repro.serving import InferenceServer
+from repro.streaming import StreamingForecaster
+
+NODES_GRID = (2, 2)           # 4 sensors per corridor window
+HISTORY, HORIZON = 12, 4
+N_MC = 32
+WARMUP_TICKS = HISTORY        # ticks before predictions start
+MEASURED_TICKS = 24
+GATE_STREAMS = 64             # the >= 3x acceptance criterion applies here
+GATE_SPEEDUP = 3.0
+ACI = {"window": 500, "min_scores": 20}
+
+
+def _predict_fn():
+    """One shared MC-dropout model; per-call cost dominated by dispatch."""
+    rng = np.random.default_rng(0)
+    num_nodes = NODES_GRID[0] * NODES_GRID[1]
+    model = AGCRN(
+        num_nodes=num_nodes, history=HISTORY, horizon=HORIZON,
+        hidden_dim=8, embed_dim=3, encoder_dropout=0.1, decoder_dropout=0.2,
+        heads=("mean", "log_var"), rng=rng,
+    )
+    scaler = StandardScaler().fit(np.array([0.0, 400.0]))
+    predictor = BatchedPredictor(model, scaler)
+
+    def predict(windows):
+        return predictor.monte_carlo(
+            scaler.transform(windows), num_samples=N_MC, rng=np.random.default_rng(3)
+        )
+
+    return predict
+
+
+def _rows(num_streams):
+    network = grid_network(*NODES_GRID)
+    steps = WARMUP_TICKS + MEASURED_TICKS
+    return {
+        f"c{i}": list(StreamingTrafficFeed(network, num_steps=steps, seed=i))
+        for i in range(num_streams)
+    }
+
+
+def _time_per_stream_loop(predict, rows):
+    class _Model:
+        pass
+
+    model = _Model()
+    model.predict = predict
+    runners = {
+        name: StreamingForecaster(
+            model, history=HISTORY, horizon=HORIZON, aci=dict(ACI), detectors=[]
+        )
+        for name in rows
+    }
+    for t in range(WARMUP_TICKS):
+        for name, runner in runners.items():
+            runner.observe(rows[name][t])
+    start = time.perf_counter()
+    for t in range(WARMUP_TICKS, WARMUP_TICKS + MEASURED_TICKS):
+        for name, runner in runners.items():
+            runner.observe(rows[name][t])
+    return time.perf_counter() - start
+
+
+def _time_fleet(predict, rows):
+    server = InferenceServer(
+        predict, model_version="bench", max_batch_size=GATE_STREAMS,
+        max_wait_ms=2.0, cache_size=0,
+    )
+    with server:
+        fleet = StreamFleet(server, HISTORY, HORIZON, aci=dict(ACI), detector_factory=list)
+        for name in rows:
+            fleet.add_stream(name)
+        for t in range(WARMUP_TICKS):
+            fleet.tick({name: stream_rows[t] for name, stream_rows in rows.items()})
+        start = time.perf_counter()
+        for t in range(WARMUP_TICKS, WARMUP_TICKS + MEASURED_TICKS):
+            fleet.tick({name: stream_rows[t] for name, stream_rows in rows.items()})
+        elapsed = time.perf_counter() - start
+        stats = server.stats
+    return elapsed, stats
+
+
+def run_fleet_throughput():
+    results = []
+    gate_speedup = None
+    for num_streams in (8, 32, GATE_STREAMS):
+        predict = _predict_fn()
+        rows = _rows(num_streams)
+        loop_elapsed = _time_per_stream_loop(predict, rows)
+        fleet_elapsed, stats = _time_fleet(predict, rows)
+        speedup = loop_elapsed / fleet_elapsed
+        if num_streams == GATE_STREAMS:
+            gate_speedup = speedup
+        results.append(
+            {
+                "streams": num_streams,
+                "per-stream (ms/tick)": round(loop_elapsed / MEASURED_TICKS * 1000.0, 1),
+                "fleet (ms/tick)": round(fleet_elapsed / MEASURED_TICKS * 1000.0, 1),
+                "speedup": round(speedup, 2),
+                "mean batch": round(stats["mean_batch_size"], 1),
+                "stream-steps/s": round(
+                    num_streams * MEASURED_TICKS / fleet_elapsed, 1
+                ),
+            }
+        )
+    return results, gate_speedup
+
+
+def test_fleet_throughput(benchmark, save_result):
+    (rows, gate_speedup) = benchmark.pedantic(
+        run_fleet_throughput, rounds=1, iterations=1
+    )
+    text = format_rows(
+        rows,
+        title=(
+            f"Fleet tick vs {GATE_STREAMS} independent streaming loops "
+            f"(MC-dropout AGCRN, N_MC={N_MC}, horizon {HORIZON}, "
+            f"{MEASURED_TICKS} measured ticks)"
+        ),
+    )
+    save_result("fleet_throughput", text)
+    # Acceptance gate: batched fleet ticks must beat the per-stream loop by
+    # >= 3x at 64 streams (the ISSUE criterion).
+    assert gate_speedup >= GATE_SPEEDUP, (
+        f"fleet speedup {gate_speedup:.2f}x at {GATE_STREAMS} streams is "
+        f"below the {GATE_SPEEDUP}x gate"
+    )

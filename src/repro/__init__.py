@@ -19,6 +19,9 @@ A Unified Approach" (ICDE 2023).  It contains:
   threaded inference server over the vectorized Monte-Carlo engine.
 * ``repro.streaming`` — the online loop: adaptive conformal calibration,
   rolling monitors, drift detection and auto-recalibrating serving.
+* ``repro.fleet`` — fleet-scale orchestration: many per-corridor streams
+  over one shared batched server, spatial drift aggregation, coordinated
+  region refits and whole-fleet checkpoints.
 * ``repro.api`` — the unified Forecaster facade: declarative
   (backbone x method x config) specs, one fit/predict surface and
   full-state directory checkpoints.
@@ -39,6 +42,7 @@ __all__ = [
     "evaluation",
     "serving",
     "streaming",
+    "fleet",
     "api",
     "utils",
 ]

@@ -195,6 +195,37 @@ class Forecaster:
             raise RuntimeError("no active stream; call stream() first")
         return self._stream.observe(observation, mask=mask)
 
+    def fleet(self, server=None, **kwargs):
+        """Open a multi-stream fleet served by this fitted model.
+
+        Builds a :class:`~repro.fleet.StreamFleet` whose per-tick predicts
+        all funnel through one shared batched
+        :class:`~repro.serving.InferenceServer` — a tick over N corridor
+        streams costs ``O(ceil(N / batch))`` model calls instead of N.  When
+        ``server`` is omitted a server over this model is built *and
+        started*; stop it (``fleet.server.stop()``) when done.  Keyword
+        arguments configure the fleet (``aci=``, ``refit_fn=``,
+        ``spatial=``, ...); register corridors with
+        :meth:`StreamFleet.add_stream` and drive them with
+        :meth:`StreamFleet.tick`.
+        """
+        self._check_fitted()
+        from repro.fleet import StreamFleet
+
+        config = self.method.config
+        owns_server = server is None
+        if owns_server:
+            server = self.serve()
+            server.start()
+        try:
+            return StreamFleet(server, config.history, config.horizon, **kwargs)
+        except BaseException:
+            if owns_server:
+                # Don't leak a running dispatcher thread the caller has no
+                # handle to stop when the fleet itself fails to construct.
+                server.stop()
+            raise
+
     # ------------------------------------------------------------------ #
     # Full-state checkpoints
     # ------------------------------------------------------------------ #

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.data.scalers import StandardScaler
-from repro.metrics.uncertainty import interval_bounds
+from repro.metrics.uncertainty import Z_95 as _Z_95, interval_bounds
 from repro.models.base import ForecastModel
 from repro.nn.dropout import reseed_dropout, sample_fold, set_mc_dropout
 from repro.tensor import Tensor, no_grad
@@ -39,11 +39,26 @@ class PredictionResult:
     """A probabilistic forecast in the original data scale.
 
     All arrays have shape ``(num_samples, horizon, num_nodes)``.
+
+    ``lower`` / ``upper`` are optional **native interval bounds** — set by
+    methods whose intervals are not symmetric Gaussian ``mean ± z * std``
+    (quantile regression's pinball-loss heads, CFRNN's per-horizon conformal
+    margins).  When present they carry the method's own asymmetric interval;
+    downstream consumers that only understand the Gaussian interface keep
+    working through ``std`` (the half-width is always folded into a pseudo
+    standard deviation as well), while bound-aware consumers — the adaptive
+    conformal layer — preserve the asymmetry.
     """
 
     mean: np.ndarray
     aleatoric_var: np.ndarray
     epistemic_var: np.ndarray
+    lower: Optional[np.ndarray] = None
+    upper: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if (self.lower is None) != (self.upper is None):
+            raise ValueError("native bounds need both lower and upper (or neither)")
 
     @property
     def total_var(self) -> np.ndarray:
@@ -66,6 +81,11 @@ class PredictionResult:
     def num_windows(self) -> int:
         return int(self.mean.shape[0])
 
+    @property
+    def has_native_bounds(self) -> bool:
+        """Whether the method supplied its own (possibly asymmetric) bounds."""
+        return self.lower is not None
+
     def __getitem__(self, index) -> "PredictionResult":
         """Slice along the window axis (ints are kept as length-1 batches)."""
         if isinstance(index, (int, np.integer)):
@@ -74,6 +94,8 @@ class PredictionResult:
             mean=self.mean[index],
             aleatoric_var=self.aleatoric_var[index],
             epistemic_var=self.epistemic_var[index],
+            lower=self.lower[index] if self.lower is not None else None,
+            upper=self.upper[index] if self.upper is not None else None,
         )
 
     def copy(self) -> "PredictionResult":
@@ -82,6 +104,8 @@ class PredictionResult:
             mean=self.mean.copy(),
             aleatoric_var=self.aleatoric_var.copy(),
             epistemic_var=self.epistemic_var.copy(),
+            lower=self.lower.copy() if self.lower is not None else None,
+            upper=self.upper.copy() if self.upper is not None else None,
         )
 
     @staticmethod
@@ -89,10 +113,13 @@ class PredictionResult:
         """Stitch per-window results back into one batch (serving layer)."""
         if not results:
             raise ValueError("cannot concatenate an empty sequence of results")
+        bounded = all(r.lower is not None for r in results)
         return PredictionResult(
             mean=np.concatenate([r.mean for r in results], axis=0),
             aleatoric_var=np.concatenate([r.aleatoric_var for r in results], axis=0),
             epistemic_var=np.concatenate([r.epistemic_var for r in results], axis=0),
+            lower=np.concatenate([r.lower for r in results], axis=0) if bounded else None,
+            upper=np.concatenate([r.upper for r in results], axis=0) if bounded else None,
         )
 
     def interval(self, significance: float = 0.05) -> tuple:
@@ -106,6 +133,26 @@ class PredictionResult:
             mean=self.mean.copy(),
             aleatoric_var=std ** 2,
             epistemic_var=np.zeros_like(self.mean),
+        )
+
+    def replace_interval_bounds(
+        self, lower: np.ndarray, upper: np.ndarray
+    ) -> "PredictionResult":
+        """Copy carrying explicit (possibly asymmetric) interval bounds.
+
+        The half-width is also folded into a pseudo standard deviation so
+        Gaussian-interface consumers see an interval of the right *width*;
+        only bound-aware consumers see the asymmetric placement.
+        """
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        pseudo_std = np.maximum(upper - lower, 0.0) / (2.0 * _Z_95)
+        return PredictionResult(
+            mean=self.mean.copy(),
+            aleatoric_var=pseudo_std ** 2,
+            epistemic_var=np.zeros_like(self.mean),
+            lower=lower,
+            upper=upper,
         )
 
 

@@ -1,0 +1,67 @@
+"""Per-stream shards: one named corridor inside a :class:`StreamFleet`.
+
+A :class:`FleetStream` is identity plus state: the stream's *name* (unique
+within the fleet), its *region* (the refit/promotion coordination domain and
+default routing key), its *node* (position in the fleet's corridor graph,
+feeding the spatial drift aggregator), and the
+:class:`~repro.streaming.shard.StreamCore` holding everything the stream
+tracks online.  The model is deliberately absent — predicts go through the
+fleet's shared server.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.streaming.shard import StreamCore
+
+
+class FleetStream:
+    """One named per-corridor stream sharded inside a fleet.
+
+    Parameters
+    ----------
+    name:
+        Unique stream name (corridor id).
+    core:
+        The stream's online state machine.
+    region:
+        Coordination domain for fleet-wide refit/promotion; streams without
+        a region never participate in coordinated refits.
+    node:
+        Index of this stream in the fleet's corridor adjacency (spatial
+        drift aggregation); ``None`` opts the stream out.
+    key:
+        Routing key handed to the shared server per predict; defaults to
+        the region (so a :class:`~repro.serving.KeyRouter` can pin regions
+        to deployments) and falls back to the stream name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        core: StreamCore,
+        region: Optional[str] = None,
+        node: Optional[int] = None,
+        key: Optional[Any] = None,
+    ) -> None:
+        self.name = str(name)
+        self.core = core
+        self.region = str(region) if region is not None else None
+        self.node = int(node) if node is not None else None
+        self.key = key if key is not None else (self.region or self.name)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready identity record (fleet checkpoint manifest entry)."""
+        return {
+            "name": self.name,
+            "region": self.region,
+            "node": self.node,
+            "key": self.key if isinstance(self.key, (str, int, float, bool)) else str(self.key),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetStream({self.name!r}, region={self.region!r}, "
+            f"node={self.node}, step={self.core.step})"
+        )

@@ -70,6 +70,28 @@ class KeyRouter(Router):
         except TypeError:  # unhashable key
             return RouteDecision(primary=self.default)
 
+    def set_route(self, key: Any, deployment: Optional[str]) -> None:
+        """Re-point one key (atomic under the GIL — dict assignment).
+
+        Fleet promotion uses this to move a region's keys onto a newly
+        promoted deployment without touching the other regions' routes;
+        requests already queued keep the deployment their batch snapshots.
+        """
+        self.routes[key] = deployment
+
+    def set_routes(self, routes: Dict[Any, str]) -> None:
+        """Re-point several keys atomically (e.g. a whole region).
+
+        Copy-and-swap: the update builds a fresh table and publishes it in
+        one attribute rebind (atomic under the GIL for *any* key type, even
+        ones with Python-level ``__hash__``), so a concurrent submit never
+        observes a region with half its keys on the old deployment and half
+        on the new one.
+        """
+        replacement = dict(self.routes)
+        replacement.update(routes)
+        self.routes = replacement
+
     def __repr__(self) -> str:
         return f"KeyRouter({len(self.routes)} routes, default={self.default!r})"
 

@@ -37,7 +37,7 @@ from repro.core.inference import PredictionResult
 from repro.serving.batching import InferenceRequest, MicroBatcher
 from repro.serving.cache import SharedPredictionCache, prediction_cache_key
 from repro.serving.pool import Deployment, ModelPool, PredictFn, resolve_predict_fn
-from repro.serving.router import Router
+from repro.serving.router import RouteDecision, Router
 
 
 class InferenceServer:
@@ -240,11 +240,19 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     # Client API
     # ------------------------------------------------------------------ #
-    def submit(self, window: np.ndarray, key: Optional[Any] = None) -> Future:
+    def submit(
+        self,
+        window: np.ndarray,
+        key: Optional[Any] = None,
+        deployment: Optional[str] = None,
+    ) -> Future:
         """Queue one ``(history, num_nodes)`` window; returns a future.
 
         ``key`` is the routing key (region, corridor, ...) handed to the
         router; servers without a key-aware router can ignore it.
+        ``deployment`` pins the request at a named deployment, bypassing the
+        router entirely — the escape hatch trial machinery uses to score a
+        staged candidate on exactly the traffic it chooses.
         """
         window = np.asarray(window, dtype=np.float64)
         if window.ndim != 2:
@@ -257,10 +265,58 @@ class InferenceServer:
             # Routed inside the running check: a rejected submit must not
             # charge stateful routers (deficit counters track *served*
             # traffic, or a TrafficSplitRouter's realized shares drift).
+            return self._route_and_enqueue(window, key, deployment)
+
+    def _route_and_enqueue(
+        self, window: np.ndarray, key: Optional[Any], deployment: Optional[str]
+    ) -> Future:
+        """Route one validated window and enqueue it (caller holds the lock)."""
+        if deployment is not None:
+            decision = RouteDecision(primary=deployment)
+        else:
             decision = self.router.route(window, key=key)
-            return self.batcher.submit(
-                window, key=key, primary=decision.primary, shadows=decision.shadows
-            )
+        return self.batcher.submit(
+            window, key=key, primary=decision.primary, shadows=decision.shadows
+        )
+
+    def submit_many(
+        self,
+        windows: Union[np.ndarray, Sequence[np.ndarray]],
+        keys: Optional[Sequence[Any]] = None,
+        deployments: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[Future]:
+        """Queue a same-tick batch of windows in one shot; returns the futures.
+
+        The batch-submit path the fleet tick uses: all windows are routed and
+        enqueued under a single lock acquisition, so they land in the
+        micro-batcher back-to-back and coalesce into ``O(ceil(N / batch))``
+        model calls instead of N.  ``keys`` (per-window routing keys) and
+        ``deployments`` (per-window pinned deployments, ``None`` entries fall
+        through to the router) align with ``windows`` when given.
+        """
+        windows = [np.asarray(window, dtype=np.float64) for window in windows]
+        for window in windows:
+            if window.ndim != 2:
+                raise ValueError(
+                    f"submit_many expects (history, num_nodes) windows, got {window.shape}"
+                )
+        if keys is not None and len(keys) != len(windows):
+            raise ValueError("keys must align with windows")
+        if deployments is not None and len(deployments) != len(windows):
+            raise ValueError("deployments must align with windows")
+        with self._lock:
+            if not self._running:
+                raise RuntimeError(
+                    "server is not running; call start() or use it as a context manager"
+                )
+            return [
+                self._route_and_enqueue(
+                    window,
+                    keys[index] if keys is not None else None,
+                    deployments[index] if deployments is not None else None,
+                )
+                for index, window in enumerate(windows)
+            ]
 
     def predict_many(
         self,
@@ -269,10 +325,7 @@ class InferenceServer:
         keys: Optional[Sequence[Any]] = None,
     ) -> List[PredictionResult]:
         """Submit many windows at once and block for their results (in order)."""
-        if keys is None:
-            futures = [self.submit(window) for window in windows]
-        else:
-            futures = [self.submit(window, key=key) for window, key in zip(windows, keys)]
+        futures = self.submit_many(windows, keys=keys)
         return [future.result(timeout=timeout) for future in futures]
 
     @property

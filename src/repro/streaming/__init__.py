@@ -26,6 +26,7 @@ Typical usage::
 """
 
 from repro.streaming.aci import (
+    ACI_INTERVAL_MODES,
     ACI_MODES,
     ACIConfig,
     AdaptiveConformalCalibrator,
@@ -40,11 +41,13 @@ from repro.streaming.drift import (
 from repro.streaming.monitor import RollingStat, StreamingMonitor
 from repro.streaming.promotion import PROMOTION_MODES, CandidateTrial, PromotionPolicy
 from repro.streaming.runner import StepResult, StreamingForecaster
+from repro.streaming.shard import ResolvedStep, StreamCore
 
 __all__ = [
     "PROMOTION_MODES",
     "CandidateTrial",
     "PromotionPolicy",
+    "ACI_INTERVAL_MODES",
     "ACI_MODES",
     "ACIConfig",
     "AdaptiveConformalCalibrator",
@@ -57,4 +60,6 @@ __all__ = [
     "StreamingMonitor",
     "StepResult",
     "StreamingForecaster",
+    "ResolvedStep",
+    "StreamCore",
 ]

@@ -28,6 +28,15 @@ Intervals are emitted through the shared Gaussian interface exactly like the
 batch conformal method: the per-horizon half-width ``q_h * sigma`` is folded
 back into a pseudo standard deviation so ``mean +- 1.96 * std`` reproduces
 the conformal interval.
+
+Methods that carry **native asymmetric bounds** on their
+:class:`~repro.core.inference.PredictionResult` (quantile regression, CFRNN)
+are calibrated in *bound space* instead (conformalized quantile regression,
+Romano et al. 2019): the nonconformity score is ``max(lower - y, y - upper)``
+and the emitted interval is ``[lower - m_h, upper + m_h]`` with the additive
+per-horizon margin ``m_h`` tracking the stream — the lower and upper offsets
+stay independently placed rather than being collapsed into a symmetric
+pseudo-std interval.
 """
 
 from __future__ import annotations
@@ -45,6 +54,11 @@ from repro.utils.serialization import load_checkpoint, save_checkpoint
 
 #: Recognized calibration modes.
 ACI_MODES = ("static", "rolling", "aci")
+
+#: Recognized interval-shape modes: symmetric scaled intervals, native
+#: (asymmetric, CQR-style) bound calibration, or auto-detection from the
+#: first forecast's :attr:`PredictionResult.has_native_bounds`.
+ACI_INTERVAL_MODES = ("scaled", "native", "auto")
 
 #: On-disk format revision of :meth:`AdaptiveConformalCalibrator.save`.
 ACI_FORMAT_VERSION = 1
@@ -92,6 +106,11 @@ class ACIConfig:
     alpha_clip:
         ``alpha_t`` is clipped to ``[alpha_clip, 1 - alpha_clip]`` so the
         adaptive level can never saturate into a degenerate interval.
+    interval_mode:
+        One of :data:`ACI_INTERVAL_MODES`.  ``"scaled"`` always emits
+        symmetric ``mean ± q_h * sigma`` intervals; ``"native"`` calibrates
+        the method's own asymmetric bounds with additive CQR margins;
+        ``"auto"`` (default) picks per stream from the first forecast.
     """
 
     significance: float = 0.05
@@ -100,6 +119,7 @@ class ACIConfig:
     min_scores: int = 30
     mode: str = "aci"
     alpha_clip: float = 1e-3
+    interval_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.significance < 1.0:
@@ -110,6 +130,11 @@ class ACIConfig:
             raise ValueError("window and min_scores must be >= 1")
         if self.mode not in ACI_MODES:
             raise ValueError(f"mode must be one of {ACI_MODES}, got {self.mode!r}")
+        if self.interval_mode not in ACI_INTERVAL_MODES:
+            raise ValueError(
+                f"interval_mode must be one of {ACI_INTERVAL_MODES}, "
+                f"got {self.interval_mode!r}"
+            )
 
 
 class AdaptiveConformalCalibrator:
@@ -139,6 +164,12 @@ class AdaptiveConformalCalibrator:
         # per-step quantile read is an O(1) index instead of an O(n log n)
         # re-sort of the whole window.
         self._sorted: List[List[float]] = [[] for _ in range(self.horizon)]
+        # Resolved interval shape: None until "auto" has seen a forecast,
+        # then latched (and persisted) so the buffered scores keep one
+        # consistent interpretation — multipliers or additive margins.
+        self._native: Optional[bool] = (
+            None if cfg.interval_mode == "auto" else cfg.interval_mode == "native"
+        )
         self.updates = 0
 
     # ------------------------------------------------------------------ #
@@ -164,11 +195,77 @@ class AdaptiveConformalCalibrator:
             quantiles[h] = _sorted_quantile(self._sorted[h], corrected)
         return quantiles
 
+    def margins(self) -> np.ndarray:
+        """Current per-horizon *additive* margins ``m_h`` (native-bound mode).
+
+        The CQR analogue of :meth:`quantiles`: the finite-sample-corrected
+        empirical quantile of the buffered ``max(lower - y, y - upper)``
+        scores at level ``1 - alpha_t[h]``.  Before ``min_scores`` the margin
+        is zero, so early-stream intervals are the method's own bounds.
+        Margins may be negative — CQR legitimately *shrinks* native bounds
+        that prove too conservative on the stream.
+        """
+        cfg = self.config
+        margins = np.zeros(self.horizon, dtype=np.float64)
+        for h in range(self.horizon):
+            n = int(self._count[h])
+            if n < cfg.min_scores:
+                continue
+            corrected = conformal_quantile_level(n, self.alpha_t[h])
+            margins[h] = _sorted_quantile(self._sorted[h], corrected)
+        return margins
+
     @staticmethod
     def _scale(result: PredictionResult) -> np.ndarray:
         """Local nonconformity scale: the predictive std, unit where zero."""
         std = result.std
         return np.where(std > 1e-12, std, 1.0)
+
+    def uses_native(self, result: Optional[PredictionResult] = None) -> bool:
+        """Whether this calibrator works in native-bound (asymmetric) space.
+
+        In ``"auto"`` interval mode the answer is latched from the first
+        forecast that reaches the calibrator; until then it is ``False``.
+        """
+        if self._native is None and result is not None:
+            self._native = bool(result.has_native_bounds)
+        return bool(self._native)
+
+    def score(
+        self,
+        observed: np.ndarray,
+        mean: np.ndarray,
+        scale: np.ndarray,
+        lower: Optional[np.ndarray] = None,
+        upper: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-sensor nonconformity scores of one resolved horizon row.
+
+        Native-bound calibrators score against the method's own bounds
+        (``max(lower - y, y - upper)``, the CQR score); scaled calibrators
+        use the locally-weighted residual ``|y - mean| / scale``.  All
+        arrays are 1-D over the *observed* sensors.
+        """
+        if self.uses_native() and lower is not None and upper is not None:
+            return np.maximum(lower - observed, observed - upper)
+        return np.abs(observed - mean) / scale
+
+    def native_reference(self, result: PredictionResult) -> Tuple[np.ndarray, np.ndarray]:
+        """The bounds native-mode nonconformity is scored/margined against.
+
+        The method's own bounds when it supplies them; otherwise — a
+        Gaussian-bound model meeting a native-latched calibrator, e.g. a
+        refit candidate of a different family trialed on a quantile stream —
+        per-horizon Gaussian bounds at level ``1 - alpha_t`` synthesized
+        from the predictive std, so the additive (data-unit) margins stay
+        unit-consistent instead of being misread as multipliers.
+        """
+        if result.has_native_bounds:
+            return result.lower, result.upper
+        half = np.array(
+            [norm_ppf(0.5 + (1.0 - alpha) / 2.0) for alpha in self.alpha_t]
+        ).reshape(1, -1, 1) * self._scale(result)
+        return result.mean - half, result.mean + half
 
     def intervals(self, result: PredictionResult) -> Tuple[np.ndarray, np.ndarray]:
         """Width-adapted ``(lower, upper)`` bounds for a batch result."""
@@ -176,16 +273,41 @@ class AdaptiveConformalCalibrator:
             raise ValueError(
                 f"result has horizon {result.mean.shape[1]}, calibrator expects {self.horizon}"
             )
+        if self.uses_native(result):
+            native_lower, native_upper = self.native_reference(result)
+            margin = self.margins().reshape(1, -1, 1)
+            lower = native_lower - margin
+            upper = native_upper + margin
+            # A strongly negative margin could cross the bounds; clamp at the
+            # midpoint so the interval degenerates rather than inverts.
+            mid = 0.5 * (lower + upper)
+            return np.minimum(lower, mid), np.maximum(upper, mid)
         half = self.quantiles().reshape(1, -1, 1) * self._scale(result)
         return result.mean - half, result.mean + half
 
     def calibrate(self, result: PredictionResult) -> PredictionResult:
-        """Result with the conformal half-width folded into a pseudo std.
+        """Result with the conformal interval folded back in.
 
-        ``calibrated.interval()`` (the shared 95% Gaussian interface)
-        reproduces the adaptive conformal bounds exactly.
+        Scaled (symmetric) calibration folds the half-width into a pseudo
+        std, so ``calibrated.interval()`` (the shared 95% Gaussian
+        interface) reproduces the adaptive conformal bounds exactly.
+        Native-bound calibration instead attaches the calibrated asymmetric
+        bounds (``calibrated.lower`` / ``calibrated.upper``) — the Gaussian
+        interface then sees the right *width* but not the asymmetric
+        placement, which only bound-aware consumers preserve.
         """
-        lower, upper = self.intervals(result)
+        return self.fold(result, *self.intervals(result))
+
+    def fold(
+        self, result: PredictionResult, lower: np.ndarray, upper: np.ndarray
+    ) -> PredictionResult:
+        """:meth:`calibrate` with the bounds already computed.
+
+        Lets the per-step hot path run :meth:`intervals` once and reuse its
+        output, instead of re-deriving the per-horizon margins twice.
+        """
+        if self.uses_native(result):
+            return result.replace_interval_bounds(lower, upper)
         return result.replace_interval_std((upper - lower) / (2.0 * Z_95))
 
     # ------------------------------------------------------------------ #
@@ -269,8 +391,12 @@ class AdaptiveConformalCalibrator:
             raise ValueError(
                 f"targets {targets.shape} do not align with result {result.mean.shape}"
             )
-        scale = self._scale(result)
-        scores = np.abs(targets - result.mean) / scale
+        if self.uses_native(result):
+            native_lower, native_upper = self.native_reference(result)
+            scores = np.maximum(native_lower - targets, targets - native_upper)
+        else:
+            scale = self._scale(result)
+            scores = np.abs(targets - result.mean) / scale
         for h in range(self.horizon):
             row_scores = scores[:, h, :][np.isfinite(scores[:, h, :])]
             miss: Optional[float] = None
@@ -308,6 +434,7 @@ class AdaptiveConformalCalibrator:
                 "format_version": ACI_FORMAT_VERSION,
                 "horizon": self.horizon,
                 "updates": self.updates,
+                "native": self._native,
                 "config": asdict(self.config),
             },
             "arrays": {
@@ -330,6 +457,17 @@ class AdaptiveConformalCalibrator:
             )
         self.config = ACIConfig(**meta["config"])
         self.updates = int(meta.get("updates", 0))
+        if self.config.interval_mode != "auto":
+            self._native = self.config.interval_mode == "native"
+        elif "native" in meta:
+            native = meta["native"]
+            self._native = None if native is None else bool(native)
+        else:
+            # Checkpoint written before native-bound support: every buffered
+            # score is a dimensionless scaled multiplier, so latch scaled when
+            # the buffers are warm — re-latching them as native would misread
+            # the multipliers as additive data-unit margins.
+            self._native = False if int(meta.get("updates", 0)) > 0 else None
         arrays = state["arrays"]
         self.alpha_t = np.asarray(arrays["aci.alpha_t"], dtype=np.float64).copy()
         self._scores = np.asarray(arrays["aci.scores"], dtype=np.float64).copy()

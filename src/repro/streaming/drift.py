@@ -26,6 +26,12 @@ import numpy as np
 
 from repro.streaming.monitor import RollingStat
 
+#: Event kinds that signal genuine stream drift (as opposed to lifecycle
+#: notifications) — what fleet-level coordination and spatial aggregation
+#: listen for.  Detectors added later should register their kind here so
+#: every drift consumer picks them up.
+DRIFT_KINDS = ("coverage_breach", "error_cusum")
+
 
 @dataclass(frozen=True)
 class DriftEvent:

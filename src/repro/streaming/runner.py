@@ -1,8 +1,15 @@
 """The online forecasting loop: predict → observe → update → (re)calibrate.
 
 :class:`StreamingForecaster` turns a fitted batch forecaster into a live
-system.  Each call to :meth:`observe` ingests one observation row (NaN
-entries mark dropped-out sensors) and
+system — it is a one-stream fleet: the per-stream state machine (pending
+ledger, adaptive conformal calibration, rolling monitors, drift detectors)
+lives in a :class:`~repro.streaming.shard.StreamCore`, and this runner wires
+exactly one core to one model plus the refit/promotion machinery.  The
+multi-stream analogue, :class:`~repro.fleet.StreamFleet`, owns many cores
+and funnels their per-tick predicts through one shared batched server.
+
+Each call to :meth:`observe` ingests one observation row (NaN entries mark
+dropped-out sensors) and
 
 1. **resolves** every pending forecast the new observation completes — the
    prediction made ``h+1`` steps ago forecast this step at horizon index
@@ -31,7 +38,6 @@ returning a :class:`~repro.core.inference.PredictionResult` works — a
 from __future__ import annotations
 
 import threading
-from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -39,15 +45,11 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 import numpy as np
 
 from repro.core.inference import PredictionResult
-from repro.streaming.aci import ACIConfig, AdaptiveConformalCalibrator
-from repro.streaming.drift import (
-    CoverageBreachDetector,
-    DriftEvent,
-    ErrorCusumDetector,
-    EventLog,
-)
+from repro.streaming.aci import AdaptiveConformalCalibrator
+from repro.streaming.drift import DriftEvent, EventLog
 from repro.streaming.monitor import StreamingMonitor
 from repro.streaming.promotion import CandidateTrial, PromotionPolicy
+from repro.streaming.shard import StreamCore
 
 
 @dataclass
@@ -132,33 +134,23 @@ class StreamingForecaster:
         promotion: Union[str, PromotionPolicy] = "immediate",
     ) -> None:
         self.forecaster = forecaster
-        self.history, self.horizon = self._resolve_geometry(forecaster, history, horizon)
-        if calibrator is not None:
-            if calibrator.horizon != self.horizon:
-                raise ValueError(
-                    f"calibrator horizon {calibrator.horizon} does not match "
-                    f"runner horizon {self.horizon}"
-                )
-            self.calibrator = calibrator
-        else:
-            self.calibrator = AdaptiveConformalCalibrator(
-                self.horizon, config=ACIConfig(**(aci or {}))
+        history, horizon = self._resolve_geometry(forecaster, history, horizon)
+        if calibrator is not None and calibrator.horizon != horizon:
+            raise ValueError(
+                f"calibrator horizon {calibrator.horizon} does not match "
+                f"runner horizon {horizon}"
             )
-        significance = self.calibrator.config.significance
-        self.monitor = (
-            monitor if monitor is not None else StreamingMonitor(significance=significance)
-        )
-        self.detectors = (
-            list(detectors)
-            if detectors is not None
-            else [
-                CoverageBreachDetector(nominal=1.0 - significance),
-                ErrorCusumDetector(),
-            ]
+        self.core = StreamCore(
+            history,
+            horizon,
+            calibrator=calibrator,
+            aci=aci,
+            monitor=monitor,
+            detectors=detectors,
+            refit_window=refit_window,
         )
         self.server = server
         self.refit_fn = refit_fn
-        self.refit_window = int(refit_window)
         self.cooldown = int(cooldown)
         self.background_refit = bool(background_refit)
         self.version_prefix = str(version_prefix)
@@ -167,15 +159,9 @@ class StreamingForecaster:
             if isinstance(promotion, PromotionPolicy)
             else PromotionPolicy(mode=str(promotion))
         )
-        self.event_log = EventLog()
 
         self._predict: Callable[[np.ndarray], PredictionResult] = forecaster.predict
         self._lock = threading.Lock()
-        self._history: deque = deque(maxlen=self.history)
-        self._pending: deque = deque(maxlen=self.horizon)
-        self._recent: deque = deque(maxlen=self.refit_window)
-        self._last_filled: Optional[np.ndarray] = None
-        self._step = 0
         self._last_trigger: Optional[int] = None
         self._refit_thread: Optional[threading.Thread] = None
         self._refit_count = 0
@@ -203,14 +189,52 @@ class StreamingForecaster:
             raise ValueError("history and horizon must be >= 1")
         return int(history), int(horizon)
 
+    # Per-stream state lives on the core; these keep the runner's historical
+    # surface (tests, examples and downstream code read runner.monitor etc.).
+    @property
+    def history(self) -> int:
+        return self.core.history
+
+    @property
+    def horizon(self) -> int:
+        return self.core.horizon
+
+    @property
+    def calibrator(self) -> AdaptiveConformalCalibrator:
+        return self.core.calibrator
+
+    @property
+    def monitor(self) -> StreamingMonitor:
+        return self.core.monitor
+
+    @monitor.setter
+    def monitor(self, monitor: StreamingMonitor) -> None:
+        self.core.monitor = monitor
+
+    @property
+    def detectors(self) -> List[Any]:
+        return self.core.detectors
+
+    @property
+    def event_log(self) -> EventLog:
+        return self.core.event_log
+
+    @event_log.setter
+    def event_log(self, log: EventLog) -> None:
+        self.core.event_log = log
+
+    @property
+    def refit_window(self) -> int:
+        return self.core.refit_window
+
     @property
     def step(self) -> int:
         """Number of observations ingested so far."""
-        return self._step
+        return self.core.step
 
     @property
     def warmed_up(self) -> bool:
-        return len(self._history) == self.history
+        return self.core.warmed_up
 
     @property
     def trial(self) -> Optional[CandidateTrial]:
@@ -225,19 +249,28 @@ class StreamingForecaster:
         self, observation: np.ndarray, mask: Optional[np.ndarray] = None
     ) -> StepResult:
         """Ingest one observation row and emit the next calibrated forecast."""
-        obs = np.asarray(observation, dtype=np.float64).reshape(-1)
-        valid = np.isfinite(obs)
-        if mask is not None:
-            valid &= np.asarray(mask, dtype=bool).reshape(-1)
-        s = self._step
+        core = self.core
+        obs, valid = core.normalize(observation, mask)
+        s = core.step
         events: List[DriftEvent] = []
         with self._lock:
             trial = self._trial
 
         # 1. Resolve pending forecasts this observation completes — the
         #    incumbent's always, and a trialed candidate's alongside.
-        covered, abs_error = self._score_pending(s, obs, valid, trial)
+        resolved = core.resolve(s, obs, valid)
         if trial is not None:
+            if resolved.steps is not None:
+                # Same resolved rows, restricted to post-trial forecasts, so
+                # the incumbent-vs-candidate comparison covers identical
+                # windows.
+                trial.observe_incumbent(
+                    resolved.target,
+                    resolved.mean,
+                    resolved.lower,
+                    resolved.upper,
+                    resolved.steps,
+                )
             trial.resolve(s, obs, valid)
             decision = trial.verdict()
             if decision is not None:
@@ -245,11 +278,7 @@ class StreamingForecaster:
                 trial = None
 
         # 2. Route the step's signals through the drift detectors.
-        signals = {"coverage": covered, "abs_error": abs_error}
-        for detector in self.detectors:
-            event = detector.update(s, signals.get(getattr(detector, "signal", "coverage")))
-            if event is not None:
-                events.append(self.event_log.append(event))
+        events.extend(core.detect(s, resolved.covered, resolved.abs_error))
 
         # 3. Drift-triggered recalibration (rate-limited by the cooldown,
         #    and never overlapping an in-flight refit or a running trial).
@@ -257,43 +286,24 @@ class StreamingForecaster:
             self._trigger_recalibration(events[0], s)
 
         # 4. Ingest the observation (carry-forward imputation for gaps).
-        if self._last_filled is None:
-            filled = np.where(valid, obs, 0.0)
-        else:
-            filled = np.where(valid, obs, self._last_filled)
-        self._last_filled = filled
-        self._history.append(filled)
-        self._recent.append(filled)
+        filled = core.append(obs, valid)
 
         # 5. Forecast the next horizon from the updated window.
         prediction = lower = upper = None
         served_by = "incumbent"
-        if self.warmed_up:
-            window = np.stack(self._history, axis=0)[None]
+        window = core.window()
+        if window is not None:
             with self._lock:
                 predict = self._predict
             raw = predict(window)
-            with self._lock:
-                lower_b, upper_b = self.calibrator.intervals(raw)
-                prediction = self.calibrator.calibrate(raw)
-                scale = self.calibrator._scale(raw)
-            lower, upper = lower_b[0], upper_b[0]
-            self._pending.append(
-                {
-                    "step": s,
-                    "mean": raw.mean[0],
-                    "scale": scale[0],
-                    "lower": lower,
-                    "upper": upper,
-                }
-            )
+            prediction, lower, upper = core.record(raw)
             # During a trial the candidate forecasts the same window; in
             # canary mode it also serves its share of the emitted forecasts.
             if trial is not None:
                 candidate_raw = trial.predict(window)
-                with self._lock:
-                    cand_lower_b, cand_upper_b = self.calibrator.intervals(candidate_raw)
-                    candidate_calibrated = self.calibrator.calibrate(candidate_raw)
+                candidate_calibrated, cand_lower_b, cand_upper_b = core.calibrate(
+                    candidate_raw
+                )
                 trial.record(
                     s, candidate_raw.mean[0], cand_lower_b[0], cand_upper_b[0]
                 )
@@ -302,7 +312,7 @@ class StreamingForecaster:
                     lower, upper = cand_lower_b[0], cand_upper_b[0]
                     served_by = "candidate"
 
-        self._step += 1
+        core.advance()
         return StepResult(
             step=s,
             observed=filled,
@@ -327,51 +337,6 @@ class StreamingForecaster:
         return results
 
     # ------------------------------------------------------------------ #
-    def _score_pending(
-        self,
-        s: int,
-        obs: np.ndarray,
-        valid: np.ndarray,
-        trial: Optional[CandidateTrial] = None,
-    ) -> Tuple[Optional[float], Optional[float]]:
-        """Score every pending forecast row resolved by observation ``s``."""
-        targets, means, lowers, uppers, steps = [], [], [], [], []
-        masked = np.where(valid, obs, np.nan)
-        with self._lock:
-            for entry in self._pending:
-                h = s - entry["step"] - 1
-                if not 0 <= h < self.horizon:
-                    continue
-                mu, scale = entry["mean"][h], entry["scale"][h]
-                lo, up = entry["lower"][h], entry["upper"][h]
-                targets.append(masked)
-                means.append(mu)
-                lowers.append(lo)
-                uppers.append(up)
-                steps.append(entry["step"])
-                if valid.any():
-                    scores = np.abs(obs[valid] - mu[valid]) / scale[valid]
-                    miss = float(((obs[valid] < lo[valid]) | (obs[valid] > up[valid])).mean())
-                else:
-                    scores, miss = np.empty(0), None
-                self.calibrator.update(h, scores, miscoverage=miss)
-        if not targets:
-            return None, None
-        target = np.stack(targets)
-        mean = np.stack(means)
-        lower = np.stack(lowers)
-        upper = np.stack(uppers)
-        covered = self.monitor.update(target, mean, lower, upper)
-        if trial is not None:
-            # Same resolved rows, restricted to post-trial forecasts, so the
-            # incumbent-vs-candidate comparison covers identical windows.
-            trial.observe_incumbent(target, mean, lower, upper, np.asarray(steps))
-        finite = np.isfinite(target)
-        abs_error = (
-            float(np.mean(np.abs(target[finite] - mean[finite]))) if finite.any() else None
-        )
-        return covered, abs_error
-
     def _can_trigger(self, s: int) -> bool:
         """Cooldown elapsed, no refit in flight, and no trial still running.
 
@@ -399,7 +364,7 @@ class StreamingForecaster:
                 message=f"triggered by {cause.kind}",
             )
         )
-        recent = np.stack(self._recent, axis=0) if self._recent else None
+        recent = self.core.recent()
 
         def work() -> None:
             try:
@@ -431,10 +396,9 @@ class StreamingForecaster:
                     else:
                         self._stage_candidate(model, predict, s)
                         staged = True
-                with self._lock:
-                    # Pre-drift scores only slow adaptation down; refill the
-                    # nonconformity buffers from post-drift data.
-                    self.calibrator.reset_scores(keep_alpha=True)
+                # Pre-drift scores only slow adaptation down; refill the
+                # nonconformity buffers from post-drift data.
+                self.core.reset_scores(keep_alpha=True)
                 self.event_log.append(
                     DriftEvent(
                         kind="recalibrated",
@@ -493,7 +457,7 @@ class StreamingForecaster:
                 # The first step where *both* models are guaranteed to have
                 # forecast: scoring earlier steps would judge the pair on
                 # different windows.
-                start_step=self._step + 1,
+                start_step=self.core.step + 1,
                 horizon=self.horizon,
                 nominal=1.0 - self.calibrator.config.significance,
                 name=name,
@@ -583,10 +547,9 @@ class StreamingForecaster:
                 )
             )
         if promote:
-            with self._lock:
-                # The winner's residual scale differs from the incumbent's;
-                # rebuild the nonconformity buffers against it.
-                self.calibrator.reset_scores(keep_alpha=True)
+            # The winner's residual scale differs from the incumbent's;
+            # rebuild the nonconformity buffers against it.
+            self.core.reset_scores(keep_alpha=True)
         events.append(
             DriftEvent(
                 kind="candidate_promoted" if promote else "candidate_rejected",
@@ -611,6 +574,30 @@ class StreamingForecaster:
         thread = self._refit_thread
         if thread is not None:
             thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Ops
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """One metrics-endpoint-ready dict: rolling metrics, drift, serving.
+
+        The single-stream analogue of
+        :meth:`~repro.fleet.StreamFleet.snapshot`: the monitor's rolling
+        PICP/MPIW/MAE/RMSE/Winkler bundle, stream progress, refit/trial
+        state, the drift-event log as JSON records, and (when a server is
+        attached) its serving stats.
+        """
+        snap: Dict[str, Any] = {
+            "step": self.step,
+            "warmed_up": self.warmed_up,
+            "refit_count": self._refit_count,
+            "trial": repr(self.trial) if self.trial is not None else None,
+            "metrics": self.monitor.snapshot(),
+            "events": self.event_log.to_records(),
+        }
+        if self.server is not None and hasattr(self.server, "stats"):
+            snap["server"] = self.server.stats
+        return snap
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -639,12 +626,13 @@ class StreamingForecaster:
 
         with self._lock:
             forecaster = self.forecaster
+        with self.core._lock:
             self.calibrator.save(directory / self.ACI_SUBDIR)
             monitor_state = self.monitor.get_state()
             stream_meta = {
                 "kind": "stream",
                 "format_version": self.STREAM_FORMAT_VERSION,
-                "step": self._step,
+                "step": self.core.step,
                 "last_trigger": self._last_trigger,
                 "refit_count": self._refit_count,
                 "monitor": monitor_state["meta"],
@@ -703,7 +691,7 @@ class StreamingForecaster:
                 )
             runner.monitor.set_state({"meta": monitor_meta, "arrays": arrays})
             runner.event_log = EventLog.from_records(meta["events"])
-            runner._step = int(meta["step"])
+            runner.core._step = int(meta["step"])
             runner._last_trigger = (
                 int(meta["last_trigger"]) if meta["last_trigger"] is not None else None
             )
@@ -713,6 +701,6 @@ class StreamingForecaster:
     def __repr__(self) -> str:
         return (
             f"StreamingForecaster(history={self.history}, horizon={self.horizon}, "
-            f"step={self._step}, mode={self.calibrator.config.mode!r}, "
+            f"step={self.core.step}, mode={self.calibrator.config.mode!r}, "
             f"events={len(self.event_log)})"
         )

@@ -133,6 +133,15 @@ class CFRNN(UQMethod):
         mean = self._point_forecast(histories)
         widths = self.horizon_widths.reshape(1, -1, 1)  # (1, H, 1) broadcast over batch/nodes
         pseudo_std = np.broadcast_to(widths / Z_95, mean.shape).copy()
+        # Native per-horizon conformal bounds: symmetric about the point
+        # forecast here, but carried as explicit bounds so the streaming
+        # conformal layer calibrates them with additive (CQR) margins rather
+        # than re-deriving a multiplier on the pseudo std.
+        half = np.broadcast_to(widths, mean.shape)
         return PredictionResult(
-            mean=mean, aleatoric_var=pseudo_std ** 2, epistemic_var=np.zeros_like(mean)
+            mean=mean,
+            aleatoric_var=pseudo_std ** 2,
+            epistemic_var=np.zeros_like(mean),
+            lower=mean - half,
+            upper=mean + half,
         )

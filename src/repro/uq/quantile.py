@@ -63,9 +63,15 @@ class QuantileRegression(UQMethod):
         lower = self.scaler.inverse_transform(outputs["lower"])
         upper = self.scaler.inverse_transform(outputs["upper"])
         # Guard against quantile crossing, then express the interval half-width
-        # as a pseudo sigma so downstream interval code can reuse mean +- 1.96 s.
+        # as a pseudo sigma so downstream interval code can reuse mean +- 1.96 s;
+        # the native (asymmetric) bounds ride along for bound-aware consumers
+        # such as the streaming conformal layer.
         lower, upper = np.minimum(lower, upper), np.maximum(lower, upper)
         pseudo_std = np.maximum((upper - lower) / (2.0 * _Z_95), 0.0)
         return PredictionResult(
-            mean=mean, aleatoric_var=pseudo_std ** 2, epistemic_var=np.zeros_like(mean)
+            mean=mean,
+            aleatoric_var=pseudo_std ** 2,
+            epistemic_var=np.zeros_like(mean),
+            lower=lower,
+            upper=upper,
         )

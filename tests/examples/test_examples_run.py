@@ -25,7 +25,8 @@ class TestExamples:
         scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert {"quickstart.py", "compare_uq_methods.py", "emergency_routing.py",
                 "custom_dataset.py", "serving_demo.py",
-                "streaming_dashboard.py", "canary_promotion.py"}.issubset(scripts)
+                "streaming_dashboard.py", "canary_promotion.py",
+                "fleet_demo.py"}.issubset(scripts)
 
     def test_quickstart_fast(self):
         result = _run("quickstart.py", "--fast", "--epochs", "2")
@@ -61,6 +62,18 @@ class TestExamples:
         assert "candidate_promoted" in result.stdout
         assert "candidate_rejected" in result.stdout
         assert "dropped: 0" in result.stdout
+
+    def test_fleet_demo_fast(self):
+        result = _run("fleet_demo.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "spatial_incident" in result.stdout
+        assert "region_candidate_promoted" in result.stdout
+        assert "region_candidate_rejected" in result.stdout
+        assert "dropped: 0, route fallbacks: 0" in result.stdout
+        # the tick's predicts coalesce into few batches (not one per stream);
+        # exact coalescing is timing-dependent, so gate on the mean loosely
+        mean_batch = float(result.stdout.split("mean batch ")[1].split(" ")[0])
+        assert mean_batch >= 8.0
 
     def test_streaming_dashboard_fast(self):
         result = _run("streaming_dashboard.py", "--fast")

@@ -1,0 +1,297 @@
+"""Fleet ticks: shared batched predicts, single-stream equivalence, ops."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import PredictionResult
+from repro.data import StreamingTrafficFeed
+from repro.graph import grid_network
+from repro.serving import InferenceServer, KeyRouter
+from repro.streaming import PersistenceForecaster, StreamingForecaster
+from repro.fleet import FleetStream, StreamFleet
+
+HISTORY, HORIZON = 8, 4
+STEPS = 60
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(2, 2)
+
+
+def _feeds(network, n, steps=STEPS):
+    return {f"c{i}": StreamingTrafficFeed(network, num_steps=steps, seed=i) for i in range(n)}
+
+
+def _server(max_batch_size=64):
+    model = PersistenceForecaster(horizon=HORIZON, sigma=20.0)
+    return InferenceServer(
+        model.predict, model_version="base", max_batch_size=max_batch_size, max_wait_ms=2.0
+    )
+
+
+class TestBatchedTick:
+    def test_tick_returns_per_stream_results(self, network):
+        feeds = _feeds(network, 6)
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            for name in feeds:
+                fleet.add_stream(name)
+            results = fleet.run({name: iter(feed) for name, feed in feeds.items()})
+        assert len(results) == STEPS
+        last = results[-1]
+        assert set(dict(last)) == set(feeds)
+        for name in feeds:
+            step = last[name]
+            assert step.prediction is not None
+            assert step.prediction.mean.shape == (1, HORIZON, network.num_nodes)
+            assert step.lower.shape == (HORIZON, network.num_nodes)
+            assert np.all(step.lower <= step.upper)
+
+    def test_predicts_are_batched_not_sequential(self, network):
+        """A tick over N warm streams must coalesce into few micro-batches."""
+        n = 8
+        feeds = _feeds(network, n)
+        with _server(max_batch_size=64) as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            for name in feeds:
+                fleet.add_stream(name)
+            fleet.run({name: iter(feed) for name, feed in feeds.items()})
+            stats = server.stats
+        warm_ticks = STEPS - HISTORY + 1
+        assert stats["requests_served"] == n * warm_ticks
+        # Perfect coalescing would be one batch per tick; allow a little
+        # dispatcher jitter but demand far fewer batches than requests.
+        assert stats["batches_dispatched"] <= warm_ticks * 2
+        assert stats["mean_batch_size"] >= n / 2
+
+    def test_unknown_stream_rejected(self, network):
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            fleet.add_stream("known")
+            with pytest.raises(KeyError, match="unknown"):
+                fleet.tick({"unknown": np.zeros(network.num_nodes)})
+
+    def test_duplicate_stream_rejected(self, network):
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            fleet.add_stream("c0")
+            with pytest.raises(ValueError, match="already exists"):
+                fleet.add_stream("c0")
+
+    def test_malformed_row_rejected_before_any_stream_mutates(self, network):
+        feeds = _feeds(network, 2)
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            fleet.add_stream("c0")
+            fleet.add_stream("c1")
+            iterators = {name: iter(feed) for name, feed in feeds.items()}
+            for _ in range(3):
+                fleet.tick({name: next(it) for name, it in iterators.items()})
+            with pytest.raises(ValueError, match="sensors per row"):
+                fleet.tick({
+                    "c0": next(iterators["c0"]),
+                    "c1": np.zeros(network.num_nodes + 1),
+                })
+            # the failed tick mutated nothing: both streams stayed in sync
+            assert fleet["c0"].core.step == 3
+            assert fleet["c1"].core.step == 3
+            result = fleet.tick({name: next(it) for name, it in iterators.items()})
+            assert set(result.results) == {"c0", "c1"}
+
+    def test_duplicate_spatial_node_rejected(self, network):
+        from repro.fleet import SpatialDriftAggregator
+
+        with _server() as server:
+            fleet = StreamFleet(
+                server, HISTORY, HORIZON,
+                spatial=SpatialDriftAggregator(network.adjacency_matrix(weighted=False)),
+            )
+            fleet.add_stream("a", node=1)
+            with pytest.raises(ValueError, match="already mapped"):
+                fleet.add_stream("b", node=1)
+
+    def test_path_hostile_stream_names_rejected(self, network):
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            for bad in ("", "a/b", "a\\b", "..", "."):
+                with pytest.raises(ValueError, match="path component"):
+                    fleet.add_stream(bad)
+
+    def test_add_streams_rejects_shared_stateful_instances(self, network):
+        from repro.streaming import CoverageBreachDetector
+
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            with pytest.raises(ValueError, match="detector_factory"):
+                fleet.add_streams(["a", "b"], detectors=[CoverageBreachDetector()])
+
+    def test_node_outside_spatial_graph_rejected_at_registration(self, network):
+        from repro.fleet import SpatialDriftAggregator
+
+        with _server() as server:
+            fleet = StreamFleet(
+                server, HISTORY, HORIZON,
+                spatial=SpatialDriftAggregator(network.adjacency_matrix(weighted=False)),
+            )
+            fleet.add_stream("ok", node=network.num_nodes - 1)
+            with pytest.raises(IndexError, match="out of range"):
+                fleet.add_stream("bad", node=network.num_nodes)
+
+    def test_run_drains_unequal_feeds_without_dropping_rows(self, network):
+        short = StreamingTrafficFeed(network, num_steps=20, seed=0)
+        long = StreamingTrafficFeed(network, num_steps=35, seed=1)
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            fleet.add_stream("short")
+            fleet.add_stream("long")
+            results = fleet.run({"short": iter(short), "long": iter(long)})
+        # every fetched row was ticked: the long stream keeps going alone
+        assert len(results) == 35
+        assert fleet["short"].core.step == 20
+        assert fleet["long"].core.step == 35
+        assert set(results[-1].results) == {"long"}
+
+    def test_partial_tick_skips_unobserved_streams(self, network):
+        feeds = _feeds(network, 2)
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            fleet.add_stream("c0")
+            fleet.add_stream("c1")
+            rows = list(feeds["c0"])
+            for row in rows[:10]:
+                fleet.tick({"c0": row})
+            result = fleet.tick({"c0": rows[10], "c1": next(iter(feeds["c1"]))})
+        assert fleet["c0"].core.step == 11
+        assert fleet["c1"].core.step == 1
+        assert set(result.results) == {"c0", "c1"}
+
+
+class TestSingleStreamEquivalence:
+    def test_one_stream_fleet_matches_streaming_forecaster(self, network):
+        """The fleet path (through the shared server) must be bit-identical
+        to the extracted single-stream loop for a deterministic model."""
+        feed_args = dict(num_steps=STEPS, seed=3)
+        fleet_feed = StreamingTrafficFeed(network, **feed_args)
+        solo_feed = StreamingTrafficFeed(network, **feed_args)
+
+        solo = StreamingForecaster(
+            PersistenceForecaster(horizon=HORIZON, sigma=20.0),
+            history=HISTORY,
+            horizon=HORIZON,
+            aci={"window": 500},
+        )
+        solo_results = solo.run(solo_feed)
+
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON, aci={"window": 500})
+            fleet.add_stream("only")
+            fleet_results = fleet.run({"only": iter(fleet_feed)})
+
+        for solo_step, fleet_tick in zip(solo_results, fleet_results):
+            fleet_step = fleet_tick["only"]
+            assert solo_step.step == fleet_step.step
+            np.testing.assert_array_equal(solo_step.observed, fleet_step.observed)
+            if solo_step.prediction is None:
+                assert fleet_step.prediction is None
+                continue
+            np.testing.assert_array_equal(solo_step.lower, fleet_step.lower)
+            np.testing.assert_array_equal(solo_step.upper, fleet_step.upper)
+            np.testing.assert_array_equal(
+                solo_step.prediction.mean, fleet_step.prediction.mean
+            )
+        assert solo.monitor.snapshot() == fleet["only"].core.monitor.snapshot()
+
+
+class TestRoutingAndOps:
+    def test_key_router_installed_and_streams_keyed_by_region(self, network):
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            assert isinstance(server.router, KeyRouter)
+            stream = fleet.add_stream("c0", region="north")
+            assert stream.key == "north"
+            named = fleet.add_stream("c1")
+            assert named.key == "c1"
+
+    def test_existing_key_router_preserved(self, network):
+        router = KeyRouter({"north": "regional"})
+        model = PersistenceForecaster(horizon=HORIZON, sigma=20.0)
+        server = InferenceServer(model.predict, model_version="base", router=router)
+        fleet = StreamFleet(server, HISTORY, HORIZON)
+        assert fleet.router is router
+
+    def test_snapshot_is_metrics_endpoint_ready(self, network):
+        feeds = _feeds(network, 3)
+        with _server() as server:
+            fleet = StreamFleet(server, HISTORY, HORIZON)
+            for index, name in enumerate(feeds):
+                fleet.add_stream(name, region="r", node=index)
+            fleet.run({name: iter(feed) for name, feed in feeds.items()}, max_steps=20)
+            snap = fleet.snapshot()
+        assert snap["tick"] == 20
+        assert snap["num_streams"] == 3
+        for name in feeds:
+            entry = snap["streams"][name]
+            assert {"region", "node", "key", "step", "warmed_up", "metrics", "events"} <= set(entry)
+            assert {"coverage", "mae", "rmse", "winkler"} <= set(entry["metrics"])
+        # the shared server's stats ride along: serving counters, cache
+        # statistics and per-deployment ModelPool stats in one dict
+        assert "deployments" in snap["server"]
+        assert "cache_hits" in snap["server"]
+        import json
+
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_streaming_forecaster_snapshot(self, network):
+        feed = StreamingTrafficFeed(network, num_steps=30, seed=0)
+        runner = StreamingForecaster(
+            PersistenceForecaster(horizon=HORIZON, sigma=20.0),
+            history=HISTORY,
+            horizon=HORIZON,
+        )
+        runner.run(feed)
+        snap = runner.snapshot()
+        assert snap["step"] == 30
+        assert {"coverage", "mae"} <= set(snap["metrics"])
+        import json
+
+        json.dumps(snap)
+
+
+class TestFleetStream:
+    def test_describe_round_trips_identity(self):
+        from repro.streaming import StreamCore
+
+        stream = FleetStream("c9", StreamCore(4, 2), region="west", node=7)
+        record = stream.describe()
+        assert record == {"name": "c9", "region": "west", "node": 7, "key": "west"}
+
+
+class TestForecasterFacade:
+    def test_forecaster_fleet_builds_and_serves(self, network):
+        """Forecaster.fleet() opens a fleet over the fitted model's server."""
+        from repro.api import Forecaster
+        from repro.data import TrafficData, generate_traffic, train_val_test_split
+
+        values = generate_traffic(network, 400, seed=5)
+        data = TrafficData(name="fleet-api", values=values, network=network)
+        train, val, _ = train_val_test_split(data)
+        forecaster = Forecaster.from_spec(
+            {
+                "method": "Point",
+                "backbone": "AGCRN",
+                "training": {
+                    "history": HISTORY, "horizon": HORIZON,
+                    "hidden_dim": 4, "embed_dim": 2, "epochs": 1, "seed": 0,
+                },
+            }
+        )
+        forecaster.fit(train, val)
+        fleet = forecaster.fleet()
+        try:
+            fleet.add_stream("c0")
+            feed = StreamingTrafficFeed(network, num_steps=HISTORY + 3, seed=0)
+            results = fleet.run({"c0": iter(feed)})
+            assert results[-1]["c0"].prediction is not None
+        finally:
+            fleet.server.stop()

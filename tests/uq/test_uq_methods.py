@@ -257,3 +257,44 @@ class TestSpecificBehaviours:
         naive_mae = point_metrics(naive, targets)["MAE"]
         deepstuq_mae = point_metrics(fitted_methods["DeepSTUQ"].predict(inputs).mean, targets)["MAE"]
         assert deepstuq_mae < naive_mae * 1.2
+
+
+class TestNativeBounds:
+    """Quantile/CFRNN carry their native (possibly asymmetric) interval bounds."""
+
+    Z95 = 1.959963984540054
+
+    @pytest.mark.parametrize("name", ["Quantile", "CFRNN"])
+    def test_bound_carrying_methods(self, name, fitted_methods, test_windows):
+        inputs, _ = test_windows
+        result = fitted_methods[name].predict(inputs)
+        assert result.has_native_bounds
+        assert result.lower.shape == result.mean.shape
+        assert np.all(result.lower <= result.upper)
+        # the pseudo std folds exactly the native width, so the Gaussian
+        # interface emits an interval of the same width
+        np.testing.assert_allclose(
+            result.std, (result.upper - result.lower) / (2.0 * self.Z95)
+        )
+
+    @pytest.mark.parametrize("name", ["Point", "MVE", "MCDO", "DeepSTUQ"])
+    def test_gaussian_methods_have_no_native_bounds(self, name, fitted_methods, test_windows):
+        inputs, _ = test_windows
+        assert not fitted_methods[name].predict(inputs).has_native_bounds
+
+    def test_quantile_bounds_need_not_be_symmetric(self, fitted_methods, test_windows):
+        inputs, _ = test_windows
+        result = fitted_methods["Quantile"].predict(inputs)
+        below = result.mean - result.lower
+        above = result.upper - result.mean
+        # pinball-loss heads place the bounds independently of the median;
+        # exact symmetry everywhere would mean the bounds are derived, not native
+        assert not np.allclose(below, above)
+
+    def test_cfrnn_bounds_match_per_horizon_widths(self, fitted_methods, test_windows):
+        inputs, _ = test_windows
+        method = fitted_methods["CFRNN"]
+        result = method.predict(inputs)
+        widths = method.horizon_widths.reshape(1, -1, 1)
+        np.testing.assert_allclose(result.upper - result.mean, np.broadcast_to(widths, result.mean.shape))
+        np.testing.assert_allclose(result.mean - result.lower, np.broadcast_to(widths, result.mean.shape))
