@@ -1,0 +1,63 @@
+"""Scenario DSL and chaos harness for the streaming/fleet stack.
+
+Two composable halves:
+
+* :mod:`repro.scenarios.dsl` — declarative, file-loadable
+  (:func:`load_scenario`, JSON or INI) stream scenarios built from traffic
+  primitives.  The three canonical scripted feeds compile **bit-identically**
+  to their hand-coded ``StreamingTrafficFeed.scenario`` counterparts
+  (:func:`legacy_scenario`), and six extended primitives add holiday/seasonal
+  cycles, sensor clock skew, stuck sensors, adversarial spikes, cold-start
+  corridors and cascading multi-region incidents;
+* :mod:`repro.scenarios.chaos` — deterministic system-level fault injection
+  (kill-and-restore from checkpoint, raising/hanging model passes, dying
+  refit threads, cache thrash) plus the :class:`ChaosSchedule` /
+  :func:`run_fleet_scenario` driver that scripts them onto fleet ticks.
+
+Quick taste::
+
+    spec = load_scenario("scenarios/holiday_regime.json")
+    feed = spec.build(network)                      # a StreamingTrafficFeed
+
+    chaos = ChaosSchedule().at(
+        120, scheduled_kill_and_restore(ckpt_dir, make_server,
+                                        detector_factory=detectors)
+    )
+    fleet, results = run_fleet_scenario(fleet, feeds, chaos=chaos)
+"""
+
+from repro.scenarios.chaos import (
+    ChaosSchedule,
+    FlakyRefit,
+    PredictFault,
+    kill_and_restore,
+    scheduled_kill_and_restore,
+    thrash_cache,
+)
+from repro.scenarios.driver import run_fleet_scenario
+from repro.scenarios.dsl import (
+    LEGACY_KINDS,
+    PRIMITIVE_DEFAULTS,
+    ScenarioSpec,
+    legacy_scenario,
+    load_scenario,
+    parse_scenario_ini,
+    parse_scenario_json,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "legacy_scenario",
+    "load_scenario",
+    "parse_scenario_json",
+    "parse_scenario_ini",
+    "LEGACY_KINDS",
+    "PRIMITIVE_DEFAULTS",
+    "ChaosSchedule",
+    "PredictFault",
+    "FlakyRefit",
+    "kill_and_restore",
+    "scheduled_kill_and_restore",
+    "thrash_cache",
+    "run_fleet_scenario",
+]

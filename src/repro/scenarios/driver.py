@@ -1,0 +1,83 @@
+"""Fleet-level scenario driver: late joins and scheduled chaos.
+
+:meth:`StreamFleet.run` drives feeds that all exist from tick 0.  Scenario
+experiments need two things it cannot express:
+
+* **cold-start corridors** — a stream that *joins a warm fleet* at tick
+  ``k``: it must not be registered (let alone observed) before then, and
+  from ``k`` on it warms up while its neighbours are already calibrated;
+* **chaos actions** — scheduled process-level faults
+  (:class:`~repro.scenarios.chaos.ChaosSchedule`), including
+  kill-and-restore actions that *replace the fleet object* mid-run.
+
+:func:`run_fleet_scenario` is the small loop providing both on top of the
+unchanged :meth:`StreamFleet.tick`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.scenarios.chaos import ChaosSchedule
+
+
+def run_fleet_scenario(
+    fleet: Any,
+    feeds: Mapping[str, Iterable[np.ndarray]],
+    *,
+    join_at: Optional[Mapping[str, int]] = None,
+    stream_args: Optional[Mapping[str, Dict[str, Any]]] = None,
+    chaos: Optional[ChaosSchedule] = None,
+    max_ticks: Optional[int] = None,
+) -> Tuple[Any, List[Any]]:
+    """Drive ``fleet`` over ``feeds`` with scheduled joins and chaos.
+
+    Parameters
+    ----------
+    feeds:
+        ``name -> iterable`` of observation rows, as for
+        :meth:`StreamFleet.run`.
+    join_at:
+        ``name -> tick`` at which that stream comes online; its feed is not
+        consumed before then.  Streams absent from the mapping join at 0.
+    stream_args:
+        ``name -> add_stream kwargs`` (``region`` / ``node`` / ``key`` ...)
+        for streams not yet registered when they join — the cold-start
+        corridor path.  Already-registered streams are left untouched.
+    chaos:
+        A :class:`ChaosSchedule` fired at the top of each tick; an action
+        returning a fleet (kill-and-restore) replaces the driven one.
+    max_ticks:
+        Optional cap on the number of ticks.
+
+    Returns ``(fleet, results)`` — the fleet actually holding the final
+    state (chaos may have replaced the argument) and the per-tick
+    :class:`~repro.fleet.runner.FleetStepResult` list.
+    """
+    iterators = {name: iter(feed) for name, feed in feeds.items()}
+    joins = {name: int(tick) for name, tick in (join_at or {}).items()}
+    stream_args = dict(stream_args or {})
+    results: List[Any] = []
+    tick = 0
+    while iterators and (max_ticks is None or tick < max_ticks):
+        if chaos is not None:
+            fleet = chaos.fire(fleet, tick)
+        observations: Dict[str, np.ndarray] = {}
+        for name, iterator in list(iterators.items()):
+            if joins.get(name, 0) > tick:
+                continue
+            if name not in fleet.streams:
+                fleet.add_stream(name, **stream_args.get(name, {}))
+            try:
+                observations[name] = next(iterator)
+            except StopIteration:
+                del iterators[name]
+        if not observations and not any(
+            joins.get(name, 0) > tick for name in iterators
+        ):
+            break
+        results.append(fleet.tick(observations))
+        tick += 1
+    return fleet, results

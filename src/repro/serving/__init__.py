@@ -55,7 +55,7 @@ from repro.serving.router import (
     ShadowRouter,
     TrafficSplitRouter,
 )
-from repro.serving.server import InferenceServer, serve_method
+from repro.serving.server import InferenceServer, ServerStopped, serve_method
 
 __all__ = [
     "InferenceRequest",
@@ -72,5 +72,6 @@ __all__ = [
     "TrafficSplitRouter",
     "ShadowRouter",
     "InferenceServer",
+    "ServerStopped",
     "serve_method",
 ]

@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import defaultdict
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor, wait
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +39,15 @@ from repro.serving.batching import InferenceRequest, MicroBatcher
 from repro.serving.cache import SharedPredictionCache, prediction_cache_key
 from repro.serving.pool import Deployment, ModelPool, PredictFn, resolve_predict_fn
 from repro.serving.router import RouteDecision, Router
+
+
+class ServerStopped(RuntimeError):
+    """Set on futures still unresolved when the server's shutdown deadline hits.
+
+    Clients blocked on :meth:`Future.result` are released with this error
+    instead of hanging forever behind a stuck model; the count of such
+    requests is surfaced as ``stranded_requests`` in :attr:`InferenceServer.stats`.
+    """
 
 
 class InferenceServer:
@@ -94,6 +104,16 @@ class InferenceServer:
         self._running = False
         self._lock = threading.Lock()
         self._predict_lock = threading.Lock()
+        # Every minted future until it resolves: the shutdown path fails
+        # whatever is left here so no client blocks forever on a stuck model.
+        self._futures_lock = threading.Lock()
+        self._outstanding: set = set()
+        self._stranded_requests = 0
+        #: Chaos hook: called as ``fault_injector(deployment_name, stacked)``
+        #: right before each primary/shadow model pass.  Raising fails that
+        #: group's requests through the normal error path; blocking simulates
+        #: a hung model.  ``None`` (the default) is a no-op.
+        self.fault_injector: Optional[Callable[[str, np.ndarray], None]] = None
         self._requests_served = 0
         self._batches_dispatched = 0
         self._model_windows = 0
@@ -115,7 +135,18 @@ class InferenceServer:
         self._dispatcher.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut down within ``timeout`` seconds, never stranding a client.
+
+        On the happy path the dispatcher drains the queue, every in-flight
+        future resolves, and the worker pool joins cleanly.  When a model
+        hangs (or the dispatcher wedges), the deadline expires instead: every
+        future still outstanding is failed with :class:`ServerStopped` so
+        blocked ``result()`` callers wake up, the count lands in
+        ``stats["stranded_requests"]``, and the worker pool is abandoned
+        without waiting (its queued batches are cancelled; the stuck thread
+        keeps the hung model call, nothing else).
+        """
         # The lock orders stop() against submit(): any submit that saw
         # _running=True has already enqueued its request, and the queue is
         # FIFO, so that request precedes the shutdown sentinel and is drained.
@@ -124,10 +155,26 @@ class InferenceServer:
                 return
             self._running = False
             self.batcher.close()
-        if self._dispatcher is not None:
-            self._dispatcher.join(timeout=10.0)
-            self._dispatcher = None
-        self._pool.shutdown(wait=True)
+        deadline = time.monotonic() + max(float(timeout), 0.0)
+        dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.join(timeout=max(deadline - time.monotonic(), 0.0))
+        with self._futures_lock:
+            outstanding = list(self._outstanding)
+        if outstanding:
+            wait(outstanding, timeout=max(deadline - time.monotonic(), 0.0))
+        stranded = [future for future in outstanding if not future.done()]
+        for future in stranded:
+            # _run_primary guards set_result with done(), so a worker that
+            # eventually finishes the hung call cannot collide with this.
+            future.set_exception(
+                ServerStopped("server stopped before the request resolved")
+            )
+        clean = not stranded and (dispatcher is None or not dispatcher.is_alive())
+        if stranded:
+            with self._lock:
+                self._stranded_requests += len(stranded)
+        self._pool.shutdown(wait=clean, cancel_futures=not clean)
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -275,9 +322,17 @@ class InferenceServer:
             decision = RouteDecision(primary=deployment)
         else:
             decision = self.router.route(window, key=key)
-        return self.batcher.submit(
+        future = self.batcher.submit(
             window, key=key, primary=decision.primary, shadows=decision.shadows
         )
+        with self._futures_lock:
+            self._outstanding.add(future)
+        future.add_done_callback(self._discard_outstanding)
+        return future
+
+    def _discard_outstanding(self, future: Future) -> None:
+        with self._futures_lock:
+            self._outstanding.discard(future)
 
     def submit_many(
         self,
@@ -342,6 +397,7 @@ class InferenceServer:
                 "rollbacks": self._rollbacks,
                 "route_fallbacks": self._route_fallbacks,
                 "shadow_errors": self._shadow_errors,
+                "stranded_requests": self._stranded_requests,
                 "mean_batch_size": (
                     self._requests_served / self._batches_dispatched
                     if self._batches_dispatched
@@ -457,6 +513,11 @@ class InferenceServer:
                 pending_windows.append(request.window)
         if pending_windows:
             stacked = np.stack(pending_windows, axis=0)
+            injector = self.fault_injector
+            if injector is not None:
+                # Outside the predict lock: a *blocking* injector must stall
+                # only this group's worker, not every deployment's forwards.
+                injector(deployment.name, stacked)
             with self._predict_lock:
                 result = deployment.predict_fn(stacked)
             for offset, key in enumerate(pending_keys):
@@ -481,7 +542,10 @@ class InferenceServer:
         for request in requests:
             result = per_request[id(request)]
             primary_results[id(request)] = result
-            request.future.set_result(result)
+            # A future may already hold ServerStopped if stop()'s deadline
+            # fired while this batch was stuck in a hung model call.
+            if not request.future.done():
+                request.future.set_result(result)
         deployment.record_served(len(requests), model_windows)
         if model_windows:
             with self._lock:

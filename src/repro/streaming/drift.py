@@ -147,6 +147,57 @@ class CoverageBreachDetector:
         self._scored = 0
         self._breached_steps = 0
 
+    # ------------------------------------------------------------------ #
+    # State protocol (folded into StreamCore checkpoints)
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, Any]:
+        """Rolling-coverage ring + breach counters as ``{"meta", "arrays"}``.
+
+        A detector mid-way through its ``patience`` debounce carries real
+        evidence of an unfolding breach; checkpointing it (rather than
+        re-arming from zero) is what lets a kill-and-restore mid-drift fire
+        the same event at the same step as an uninterrupted run.
+        """
+        return {
+            "meta": {
+                "kind": self.kind,
+                "nominal": self.nominal,
+                "tolerance": self.tolerance,
+                "window": self._coverage.window,
+                "patience": self.patience,
+                "warmup": self.warmup,
+                "scored": self._scored,
+                "breached_steps": self._breached_steps,
+            },
+            "arrays": {
+                f"coverage.{key}": value
+                for key, value in self._coverage.get_state().items()
+            },
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> "CoverageBreachDetector":
+        """Restore a :meth:`get_state` snapshot (bit-identical round trip)."""
+        meta = state["meta"]
+        if meta.get("kind") != self.kind:
+            raise ValueError(
+                f"state was saved by {meta.get('kind')!r}, not a {self.kind} detector"
+            )
+        self.nominal = float(meta["nominal"])
+        self.tolerance = float(meta["tolerance"])
+        self.patience = int(meta["patience"])
+        self.warmup = int(meta["warmup"])
+        if self._coverage.window != int(meta["window"]):
+            self._coverage = RollingStat(int(meta["window"]))
+        self._coverage.set_state(
+            {
+                key: state["arrays"][f"coverage.{key}"]
+                for key in ("values", "pos", "count", "sum")
+            }
+        )
+        self._scored = int(meta["scored"])
+        self._breached_steps = int(meta["breached_steps"])
+        return self
+
 
 class ErrorCusumDetector:
     """One-sided CUSUM on standardized absolute forecast errors.
@@ -219,6 +270,49 @@ class ErrorCusumDetector:
             self._n = 0
             self._mean = 0.0
             self._m2 = 0.0
+
+    # ------------------------------------------------------------------ #
+    # State protocol (folded into StreamCore checkpoints)
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, Any]:
+        """CUSUM statistic + frozen Welford baseline as ``{"meta", "arrays"}``.
+
+        The statistic is the accumulated evidence of an error-level shift;
+        dropping it on restore (the pre-fix behaviour) silently discards
+        however many standardized excess-error units the stream had already
+        banked toward the decision threshold.
+        """
+        return {
+            "meta": {
+                "kind": self.kind,
+                "slack": self.slack,
+                "threshold": self.threshold,
+                "warmup": self.warmup,
+            },
+            "arrays": {
+                "statistic": np.array(self.statistic, dtype=np.float64),
+                "n": np.array(self._n, dtype=np.int64),
+                "mean": np.array(self._mean, dtype=np.float64),
+                "m2": np.array(self._m2, dtype=np.float64),
+            },
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> "ErrorCusumDetector":
+        """Restore a :meth:`get_state` snapshot (bit-identical round trip)."""
+        meta = state["meta"]
+        if meta.get("kind") != self.kind:
+            raise ValueError(
+                f"state was saved by {meta.get('kind')!r}, not a {self.kind} detector"
+            )
+        self.slack = float(meta["slack"])
+        self.threshold = float(meta["threshold"])
+        self.warmup = int(meta["warmup"])
+        arrays = state["arrays"]
+        self.statistic = float(arrays["statistic"])
+        self._n = int(arrays["n"])
+        self._mean = float(arrays["mean"])
+        self._m2 = float(arrays["m2"])
+        return self
 
 
 @dataclass

@@ -21,7 +21,15 @@ import numpy as np
 
 
 class RollingStat:
-    """Ring buffer with an O(1) running mean over the last ``window`` pushes."""
+    """Ring buffer with an O(1) running mean over the last ``window`` pushes.
+
+    The running sum is re-summed from the ring once per wrap: the pure
+    add/subtract update otherwise accumulates float cancellation error
+    without bound on long streams (push ``1e12`` then millions of ``1e-4``
+    values and the incremental sum ends up dominated by the leftover of the
+    subtraction).  One exact O(window) re-sum every ``window`` pushes keeps
+    the amortized cost O(1) and the mean within float accuracy forever.
+    """
 
     def __init__(self, window: int) -> None:
         if window < 1:
@@ -41,6 +49,10 @@ class RollingStat:
         self._values[self._pos] = value
         self._sum += value
         self._pos = (self._pos + 1) % self.window
+        if self._pos == 0:
+            # The cursor only returns to 0 with a full ring; np.sum's pairwise
+            # summation makes this the exact window sum.
+            self._sum = float(self._values.sum())
 
     @property
     def count(self) -> int:

@@ -606,19 +606,25 @@ class StreamingForecaster:
     ACI_SUBDIR = "aci"
     STREAM_SUBDIR = "stream"
 
-    #: On-disk format revision of the runner-state checkpoint.
-    STREAM_FORMAT_VERSION = 1
+    #: On-disk format revision of the runner-state checkpoint.  Version 2
+    #: stores the full :class:`StreamCore` state (detectors, history and
+    #: pending ledgers included); version 1 checkpoints (monitor + events
+    #: only) are still readable.
+    STREAM_FORMAT_VERSION = 2
 
     def save(self, directory: Union[str, Path]) -> Path:
-        """Persist calibration + monitor + event log (always) and the model (if it can).
+        """Persist the full stream state (always) and the model (if it can).
 
-        The ACI calibration state, the rolling :class:`StreamingMonitor`
-        windows and the drift-event log all round-trip bit-identically
-        through the shared ``get_state`` / ``set_state`` array protocol, so
-        a restarted serving process resumes with warm metrics and its full
-        operational history instead of empty windows.  Forecasters exposing
-        ``save`` (the :class:`~repro.api.Forecaster` facade) are stored
-        alongside so :meth:`load` restores the entire streaming system.
+        Everything the core tracks online — the ACI calibration buffers, the
+        rolling :class:`StreamingMonitor` windows, the drift detectors'
+        accumulated evidence, the event log and the history / pending /
+        recent ledgers — round-trips bit-identically through the shared
+        ``get_state`` / ``set_state`` array protocol, so a restarted serving
+        process resumes the stream exactly where it stopped: warm window,
+        outstanding forecasts still scoreable, detectors still mid-debounce.
+        Forecasters exposing ``save`` (the :class:`~repro.api.Forecaster`
+        facade) are stored alongside so :meth:`load` restores the entire
+        streaming system.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -626,20 +632,22 @@ class StreamingForecaster:
 
         with self._lock:
             forecaster = self.forecaster
-        with self.core._lock:
-            self.calibrator.save(directory / self.ACI_SUBDIR)
-            monitor_state = self.monitor.get_state()
-            stream_meta = {
-                "kind": "stream",
-                "format_version": self.STREAM_FORMAT_VERSION,
-                "step": self.core.step,
-                "last_trigger": self._last_trigger,
-                "refit_count": self._refit_count,
-                "monitor": monitor_state["meta"],
-                "events": self.event_log.to_records(),
-            }
+        # The calibrator is additionally stored under aci/ in its own
+        # directory format: load() needs it to construct the runner before
+        # the core state (which embeds the same buffers) is restored.
+        self.calibrator.save(directory / self.ACI_SUBDIR)
+        core_state = self.core.get_state()
+        stream_meta = {
+            "kind": "stream",
+            "format_version": self.STREAM_FORMAT_VERSION,
+            "step": self.core.step,
+            "last_trigger": self._last_trigger,
+            "refit_count": self._refit_count,
+            "core": core_state["meta"],
+            "events": self.event_log.to_records(),
+        }
         save_checkpoint(
-            directory / self.STREAM_SUBDIR, stream_meta, monitor_state["arrays"]
+            directory / self.STREAM_SUBDIR, stream_meta, core_state["arrays"]
         )
         saver = getattr(forecaster, "save", None)
         if callable(saver):
@@ -678,20 +686,25 @@ class StreamingForecaster:
 
             meta, arrays = load_checkpoint(stream_dir)
             version = meta.get("format_version")
-            if version != cls.STREAM_FORMAT_VERSION:
+            if version not in (1, cls.STREAM_FORMAT_VERSION):
                 raise ValueError(
                     f"unsupported stream checkpoint format {version!r} "
-                    f"(this build reads version {cls.STREAM_FORMAT_VERSION})"
+                    f"(this build reads versions 1-{cls.STREAM_FORMAT_VERSION})"
                 )
-            monitor_meta = meta["monitor"]
-            if runner.monitor.window != int(monitor_meta["window"]):
-                runner.monitor = StreamingMonitor(
-                    window=int(monitor_meta["window"]),
-                    significance=float(monitor_meta["significance"]),
-                )
-            runner.monitor.set_state({"meta": monitor_meta, "arrays": arrays})
-            runner.event_log = EventLog.from_records(meta["events"])
-            runner.core._step = int(meta["step"])
+            if version >= 2:
+                # The core state embeds everything: calibration, monitor,
+                # detectors, event log, step and the warm ledgers.
+                runner.core.set_state({"meta": meta["core"], "arrays": arrays})
+            else:
+                monitor_meta = meta["monitor"]
+                if runner.monitor.window != int(monitor_meta["window"]):
+                    runner.monitor = StreamingMonitor(
+                        window=int(monitor_meta["window"]),
+                        significance=float(monitor_meta["significance"]),
+                    )
+                runner.monitor.set_state({"meta": monitor_meta, "arrays": arrays})
+                runner.event_log = EventLog.from_records(meta["events"])
+                runner.core._step = int(meta["step"])
             runner._last_trigger = (
                 int(meta["last_trigger"]) if meta["last_trigger"] is not None else None
             )

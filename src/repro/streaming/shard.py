@@ -19,9 +19,18 @@ That split is what lets one process scale from one stream to a fleet:
   *all* per-tick windows through one shared micro-batched server, so a tick
   over N streams costs ``O(ceil(N / batch))`` model calls instead of N.
 
-The full calibration/monitor/event state round-trips bit-identically through
+The **full** online state round-trips bit-identically through
 :meth:`get_state` / :meth:`set_state` (the shared array-protocol shape used
-across the repo), which is what fleet checkpoints shard per stream.
+across the repo), which is what fleet checkpoints shard per stream: the
+calibration buffers, the rolling monitor windows, the event log, the drift
+detectors (coverage-breach ring and debounce counters, error-CUSUM statistic
+and frozen Welford baseline), the history window, the pending-forecast
+ledger, the retained refit observations and the carry-forward imputation
+state.  A core killed mid-drift and restored therefore continues the stream
+exactly where it stopped — same forecasts, same resolutions, same detector
+firings at the same steps as an uninterrupted run (format version 2; version
+1 checkpoints, which omitted detectors and ledgers, are still readable and
+simply resume with fresh detectors and a cold window).
 """
 
 from __future__ import annotations
@@ -43,8 +52,15 @@ from repro.streaming.drift import (
 )
 from repro.streaming.monitor import StreamingMonitor
 
-#: On-disk format revision of :meth:`StreamCore.get_state`.
-STREAM_CORE_FORMAT_VERSION = 1
+#: On-disk format revision of :meth:`StreamCore.get_state`.  Version 2 added
+#: the drift-detector state and the history / pending / recent ledgers;
+#: version 1 checkpoints are still readable (detectors and ledgers restore
+#: empty, the pre-fix behaviour).
+STREAM_CORE_FORMAT_VERSION = 2
+
+#: Fields every pending-ledger entry serializes as ``pending.<i>.<field>``.
+_PENDING_FIELDS = ("mean", "scale", "lower", "upper")
+_PENDING_NATIVE_FIELDS = ("native_lower", "native_upper")
 
 
 @dataclass
@@ -328,16 +344,63 @@ class StreamCore:
     # State protocol (sharded per stream by fleet checkpoints)
     # ------------------------------------------------------------------ #
     def get_state(self) -> Dict[str, Any]:
-        """ACI + monitor + event-log + step state as ``{"meta", "arrays"}``.
+        """The full online state as ``{"meta", "arrays"}``.
 
         Restoring through :meth:`set_state` is bit-identical for every
-        calibration buffer, rolling metric window and logged event; the
-        history / pending ledgers are warm-up state and deliberately not
-        part of the checkpoint (matching the single-stream runner).
+        calibration buffer, rolling metric window, logged event, drift
+        detector and ledger row: the history window, the pending-forecast
+        ledger and the retained refit observations are checkpointed too, so
+        a restored core resumes mid-stream instead of re-warming — the
+        invariant the chaos suite's kill-and-restore scenarios assert.
         """
         with self._lock:
             aci_state = self.calibrator.get_state()
             monitor_state = self.monitor.get_state()
+            arrays = dict(aci_state["arrays"])
+            arrays.update(monitor_state["arrays"])
+            detector_metas: List[Optional[Dict[str, Any]]] = []
+            for index, detector in enumerate(self.detectors):
+                getter = getattr(detector, "get_state", None)
+                if not callable(getter):
+                    # Custom detectors may not speak the protocol; record the
+                    # gap so restore knows the slot intentionally holds none.
+                    detector_metas.append(None)
+                    continue
+                det_state = getter()
+                detector_metas.append(det_state["meta"])
+                for key, value in det_state["arrays"].items():
+                    arrays[f"detector.{index}.{key}"] = value
+            pending_meta: List[Dict[str, Any]] = []
+            for index, entry in enumerate(self._pending):
+                pending_meta.append(
+                    {
+                        "step": int(entry["step"]),
+                        "native": entry["native_lower"] is not None,
+                    }
+                )
+                for field_name in _PENDING_FIELDS:
+                    arrays[f"pending.{index}.{field_name}"] = np.asarray(
+                        entry[field_name], dtype=np.float64
+                    )
+                if entry["native_lower"] is not None:
+                    for field_name in _PENDING_NATIVE_FIELDS:
+                        arrays[f"pending.{index}.{field_name}"] = np.asarray(
+                            entry[field_name], dtype=np.float64
+                        )
+            arrays["core.history"] = (
+                np.stack(self._history, axis=0)
+                if self._history
+                else np.zeros((0, 0), dtype=np.float64)
+            )
+            arrays["core.recent"] = (
+                np.stack(self._recent, axis=0)
+                if self._recent
+                else np.zeros((0, 0), dtype=np.float64)
+            )
+            if self._last_filled is not None:
+                arrays["core.last_filled"] = np.asarray(
+                    self._last_filled, dtype=np.float64
+                )
             meta = {
                 "kind": "stream_core",
                 "format_version": STREAM_CORE_FORMAT_VERSION,
@@ -347,24 +410,29 @@ class StreamCore:
                 "step": self._step,
                 "aci": aci_state["meta"],
                 "monitor": monitor_state["meta"],
+                "detectors": detector_metas,
+                "pending": pending_meta,
                 "events": self.event_log.to_records(),
             }
-            arrays = dict(aci_state["arrays"])
-            arrays.update(monitor_state["arrays"])
         return {"meta": meta, "arrays": arrays}
 
     def set_state(self, state: Dict[str, Any]) -> "StreamCore":
-        """Restore a :meth:`get_state` snapshot (bit-identical round trip)."""
+        """Restore a :meth:`get_state` snapshot (bit-identical round trip).
+
+        Version-1 snapshots (pre detector/ledger checkpointing) restore what
+        they carry — calibration, monitor, events, step — and leave the
+        detectors and ledgers as freshly constructed.
+        """
         meta = state["meta"]
         if meta.get("kind") != "stream_core":
             raise ValueError(
                 f"state was saved by {meta.get('kind')!r}, not a stream core"
             )
         version = meta.get("format_version")
-        if version != STREAM_CORE_FORMAT_VERSION:
+        if version not in (1, STREAM_CORE_FORMAT_VERSION):
             raise ValueError(
                 f"unsupported stream-core state format {version!r} "
-                f"(this build reads version {STREAM_CORE_FORMAT_VERSION})"
+                f"(this build reads versions 1-{STREAM_CORE_FORMAT_VERSION})"
             )
         arrays = state["arrays"]
         with self._lock:
@@ -382,7 +450,71 @@ class StreamCore:
             self.monitor.set_state({"meta": monitor_meta, "arrays": arrays})
             self.event_log = EventLog.from_records(meta["events"])
             self._step = int(meta["step"])
+            if version >= 2:
+                self._restore_detectors(meta["detectors"], arrays)
+                self._restore_ledgers(meta["pending"], arrays)
         return self
+
+    def _restore_detectors(
+        self, metas: List[Optional[Dict[str, Any]]], arrays: Dict[str, Any]
+    ) -> None:
+        """Restore detector state into matching live detectors (by slot + kind).
+
+        Behaviour lives in code, state in the checkpoint (the fleet-load
+        philosophy): a slot whose stored kind no longer matches the
+        constructed detector — or that stored no state at all — keeps the
+        fresh detector rather than failing the whole restore.
+        """
+        for index, (detector, det_meta) in enumerate(zip(self.detectors, metas)):
+            if det_meta is None:
+                continue
+            setter = getattr(detector, "set_state", None)
+            if not callable(setter) or det_meta.get("kind") != getattr(
+                detector, "kind", None
+            ):
+                continue
+            prefix = f"detector.{index}."
+            det_arrays = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            setter({"meta": det_meta, "arrays": det_arrays})
+
+    def _restore_ledgers(
+        self, pending_meta: List[Dict[str, Any]], arrays: Dict[str, Any]
+    ) -> None:
+        """Rebuild the history / pending / recent deques from a v2 snapshot."""
+        history = np.asarray(arrays["core.history"], dtype=np.float64)
+        self._history = deque(
+            (row.copy() for row in history), maxlen=self.history
+        )
+        recent = np.asarray(arrays["core.recent"], dtype=np.float64)
+        self._recent = deque(
+            (row.copy() for row in recent), maxlen=self.refit_window
+        )
+        last_filled = arrays.get("core.last_filled")
+        self._last_filled = (
+            np.asarray(last_filled, dtype=np.float64).copy()
+            if last_filled is not None
+            else None
+        )
+        self._pending = deque(maxlen=self.horizon)
+        for index, entry_meta in enumerate(pending_meta):
+            entry: Dict[str, Any] = {"step": int(entry_meta["step"])}
+            for field_name in _PENDING_FIELDS:
+                entry[field_name] = np.asarray(
+                    arrays[f"pending.{index}.{field_name}"], dtype=np.float64
+                ).copy()
+            for field_name in _PENDING_NATIVE_FIELDS:
+                entry[field_name] = (
+                    np.asarray(
+                        arrays[f"pending.{index}.{field_name}"], dtype=np.float64
+                    ).copy()
+                    if entry_meta["native"]
+                    else None
+                )
+            self._pending.append(entry)
 
     def __repr__(self) -> str:
         return (

@@ -26,7 +26,7 @@ class TestExamples:
         assert {"quickstart.py", "compare_uq_methods.py", "emergency_routing.py",
                 "custom_dataset.py", "serving_demo.py",
                 "streaming_dashboard.py", "canary_promotion.py",
-                "fleet_demo.py"}.issubset(scripts)
+                "fleet_demo.py", "chaos_demo.py"}.issubset(scripts)
 
     def test_quickstart_fast(self):
         result = _run("quickstart.py", "--fast", "--epochs", "2")
@@ -74,6 +74,13 @@ class TestExamples:
         # exact coalescing is timing-dependent, so gate on the mean loosely
         mean_batch = float(result.stdout.split("mean batch ")[1].split(" ")[0])
         assert mean_batch >= 8.0
+
+    def test_chaos_demo_fast(self):
+        result = _run("chaos_demo.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "identical firing steps" in result.stdout
+        assert "stream_predict_failed" in result.stdout
+        assert "stranded: 0" in result.stdout
 
     def test_streaming_dashboard_fast(self):
         result = _run("streaming_dashboard.py", "--fast")

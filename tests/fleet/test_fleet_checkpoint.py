@@ -20,14 +20,16 @@ def _server():
     return InferenceServer(model.predict, model_version="base", max_batch_size=64)
 
 
+def _detectors():
+    return [CoverageBreachDetector(nominal=0.95, tolerance=0.05, warmup=10, patience=5)]
+
+
 def _run_fleet(server):
     network = grid_network(2, 2)
     fleet = StreamFleet(
         server, HISTORY, HORIZON,
         aci={"window": 300, "gamma": 0.02},
-        detector_factory=lambda: [
-            CoverageBreachDetector(nominal=0.95, tolerance=0.05, warmup=10, patience=5)
-        ],
+        detector_factory=_detectors,
     )
     feeds = {}
     for i in range(N):
@@ -44,7 +46,7 @@ class TestFleetCheckpoint:
             fleet = _run_fleet(server)
             fleet.save(tmp_path / "ckpt")
             with _server() as server2:
-                restored = StreamFleet.load(tmp_path / "ckpt", server2)
+                restored = StreamFleet.load(tmp_path / "ckpt", server2, detector_factory=_detectors)
                 assert len(restored) == len(fleet)
                 assert restored._tick == fleet._tick
                 for name, stream in fleet.streams.items():
@@ -72,7 +74,7 @@ class TestFleetCheckpoint:
             }
             fleet.save(tmp_path / "ckpt")
         with _server() as server2:
-            restored = StreamFleet.load(tmp_path / "ckpt", server2)
+            restored = StreamFleet.load(tmp_path / "ckpt", server2, detector_factory=_detectors)
             for name, snapshot in before.items():
                 assert restored[name].core.monitor.snapshot() == snapshot
             # the restored fleet keeps ticking (history re-warms, state warm)
@@ -89,7 +91,7 @@ class TestFleetCheckpoint:
             fleet = _run_fleet(server)
             fleet.save(tmp_path / "ckpt")
             with _server() as server2:
-                restored = StreamFleet.load(tmp_path / "ckpt", server2)
+                restored = StreamFleet.load(tmp_path / "ckpt", server2, detector_factory=_detectors)
                 assert restored.event_log.to_records() == fleet.event_log.to_records()
                 for name, stream in fleet.streams.items():
                     assert (
@@ -119,14 +121,14 @@ class TestFleetCheckpoint:
             fleet.save(tmp_path / "ckpt")
 
             # same server still holds the deployment: routes come back
-            restored = StreamFleet.load(tmp_path / "ckpt", server)
+            restored = StreamFleet.load(tmp_path / "ckpt", server, detector_factory=_detectors)
             assert restored._region_deployment == {"east": "east-cand"}
             assert restored.router.routes.get("east") == "east-cand"
 
         # a fresh server without the deployment: the stale promotion record
         # is dropped instead of claiming a phantom model
         with _server() as server2:
-            fresh = StreamFleet.load(tmp_path / "ckpt", server2)
+            fresh = StreamFleet.load(tmp_path / "ckpt", server2, detector_factory=_detectors)
             assert fresh._region_deployment == {}
             assert "east" not in fresh.router.routes
 
@@ -142,7 +144,7 @@ class TestFleetCheckpoint:
         manifest_path.write_text(json.dumps(manifest))
         with _server() as server2:
             with pytest.raises(ValueError, match="unsupported fleet checkpoint"):
-                StreamFleet.load(tmp_path / "ckpt", server2)
+                StreamFleet.load(tmp_path / "ckpt", server2, detector_factory=_detectors)
 
     def test_non_fleet_directory_rejected(self, tmp_path):
         from repro.utils.serialization import save_checkpoint
