@@ -1,0 +1,125 @@
+"""HTTP gateway throughput — closed-loop load over the full wire path.
+
+The gateway's claim: putting a stdlib ``ThreadingHTTPServer`` front end on
+the micro-batched :class:`~repro.serving.InferenceServer` costs little enough
+that a single process sustains real serving traffic — concurrent HTTP clients
+coalesce into batched model calls exactly like in-process ``submit_many``
+traffic.  This benchmark measures exactly that, end to end: seeded
+closed-loop workers (:class:`~repro.gateway.LoadGenerator`) POST random
+``/predict`` windows over real loopback sockets and block for each JSON
+response, so offered load tracks service capacity.
+
+Acceptance gates (the ISSUE criteria):
+
+* sustained throughput **>= 500 req/s** at the gate worker count;
+* **zero dropped** requests and **zero error** responses across every run;
+* p99 latency reported (and sanity-bounded) for every worker count.
+
+A ``/metrics`` scrape cross-checks the server-side request count against the
+client-side report, and the parsed scrape doubles as a formatting regression
+test.  Results land in ``benchmarks/results/http_gateway.txt``.
+"""
+
+import urllib.request
+
+import numpy as np
+
+from repro.core.inference import PredictionResult
+from repro.evaluation import format_rows
+from repro.gateway import Gateway, LoadGenerator, parse_prometheus_text
+from repro.serving import InferenceServer
+
+HISTORY, NODES, HORIZON = 12, 4, 4
+WORKER_COUNTS = (1, 4, 8)
+GATE_WORKERS = 4              # the >= 500 req/s criterion applies here
+GATE_REQ_S = 500.0
+GATE_P99_MS = 250.0           # sanity bound; loopback p99 runs ~10-30 ms
+REQUESTS_PER_WORKER = 150
+
+
+def _predict_fn():
+    """A cheap deterministic model: measures the HTTP + batching path itself."""
+
+    def predict(windows: np.ndarray) -> PredictionResult:
+        mean = np.repeat(
+            windows.mean(axis=1, keepdims=True), HORIZON, axis=1
+        )
+        return PredictionResult(
+            mean=mean,
+            aleatoric_var=np.ones_like(mean),
+            epistemic_var=np.zeros_like(mean),
+        )
+
+    return predict
+
+
+def run_http_gateway():
+    server = InferenceServer(
+        max_batch_size=32, max_wait_ms=0.5, cache_size=0, num_workers=4
+    )
+    server.deploy("bench", _predict_fn(), version="v0")
+    gateway = Gateway(server)
+    rows, gate_report, scrape_total = [], None, None
+    with gateway:
+        for workers in WORKER_COUNTS:
+            loadgen = LoadGenerator(
+                gateway.url,
+                num_workers=workers,
+                seed=workers,
+                history=HISTORY,
+                nodes=NODES,
+            )
+            report = loadgen.run(total_requests=workers * REQUESTS_PER_WORKER)
+            if workers == GATE_WORKERS:
+                gate_report = report
+            rows.append(
+                {
+                    "workers": workers,
+                    "requests": report.requests,
+                    "req/s": round(report.throughput, 1),
+                    "p50 (ms)": round(report.p50_ms, 2),
+                    "p99 (ms)": round(report.p99_ms, 2),
+                    "ok": report.ok,
+                    "errors": report.http_errors,
+                    "dropped": report.dropped,
+                }
+            )
+        with urllib.request.urlopen(gateway.url + "/metrics", timeout=10) as scrape:
+            series = parse_prometheus_text(scrape.read().decode("utf-8"))
+        scrape_total = series["gateway_requests_total"][
+            (("code", "200"), ("route", "/predict"))
+        ]
+    return rows, gate_report, scrape_total
+
+
+def test_http_gateway_throughput(benchmark, save_result):
+    rows, gate_report, scrape_total = benchmark.pedantic(
+        run_http_gateway, rounds=1, iterations=1
+    )
+    text = format_rows(
+        rows,
+        title=(
+            "HTTP gateway closed-loop throughput "
+            f"(ThreadingHTTPServer + micro-batching, {REQUESTS_PER_WORKER} "
+            "req/worker, loopback)"
+        ),
+    )
+    save_result("http_gateway", text)
+
+    # Zero-drop / zero-error gates hold at every worker count.
+    for row in rows:
+        assert row["dropped"] == 0, f"{row['workers']} workers dropped requests"
+        assert row["errors"] == 0, f"{row['workers']} workers saw error responses"
+        assert row["ok"] == row["requests"]
+        assert np.isfinite(row["p99 (ms)"]) and row["p99 (ms)"] < GATE_P99_MS
+
+    # Throughput gate at the gate worker count.
+    assert gate_report.throughput >= GATE_REQ_S, (
+        f"{gate_report.throughput:.1f} req/s at {GATE_WORKERS} workers is "
+        f"below the {GATE_REQ_S:.0f} req/s gate"
+    )
+
+    # The server-side scrape agrees with the client-side report: every sent
+    # request was counted exactly once as a 200 on /predict.
+    total_requests = sum(row["requests"] for row in rows)
+    assert scrape_total == float(total_requests)

@@ -1,0 +1,195 @@
+"""HTTP gateway demo: the whole serving plane over real loopback sockets.
+
+Run with::
+
+    python examples/gateway_demo.py          # default sizes
+    python examples/gateway_demo.py --fast   # smaller storm, a few seconds
+
+The script stands up the ``repro.gateway`` subsystem end to end:
+
+1. start an :class:`~repro.serving.InferenceServer` behind a
+   :class:`~repro.gateway.Gateway` on an ephemeral port — every request
+   below travels through a real ``ThreadingHTTPServer`` socket, exactly
+   what ``curl`` would hit;
+2. drive the data plane: ``POST /predict`` single and batched windows, and
+   ``POST /observe`` rows into a small :class:`~repro.fleet.StreamFleet`
+   until its streams warm up and return calibrated intervals;
+3. run a full canary ramp purely over the admin verbs — deploy a candidate,
+   give it a 30% traffic split, promote it, then deploy a bad candidate and
+   roll it back — while a seeded closed-loop
+   :class:`~repro.gateway.LoadGenerator` storms ``/predict`` the whole
+   time (the report must say ``dropped: 0``);
+4. scrape ``GET /metrics`` (Prometheus text exposition) and ``GET
+   /snapshot``, and print the highlights.
+
+Every HTTP call is printed with its ``curl`` equivalent, so the same
+walkthrough works from a shell against a long-running gateway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.core.inference import PredictionResult
+from repro.fleet import StreamFleet
+from repro.gateway import Gateway, LoadGenerator, parse_prometheus_text
+from repro.serving import InferenceServer
+
+HISTORY, HORIZON, NODES = 8, 4, 4
+
+
+class Persistence:
+    """Repeat-last-value forecaster (optionally biased, for the bad canary)."""
+
+    def __init__(self, offset: float = 0.0, sigma: float = 6.0) -> None:
+        self.offset, self.sigma = float(offset), float(sigma)
+
+    def predict(self, windows: np.ndarray) -> PredictionResult:
+        mean = np.repeat(windows[:, -1:, :], HORIZON, axis=1) + self.offset
+        variance = np.full_like(mean, self.sigma ** 2)
+        return PredictionResult(
+            mean=mean, aleatoric_var=variance, epistemic_var=np.zeros_like(mean)
+        )
+
+
+def call(url: str, method: str, path: str, body=None, quiet: bool = False):
+    """One JSON request, echoing the equivalent ``curl`` invocation."""
+    if not quiet:
+        if body is not None:
+            shown = json.dumps(body) if len(json.dumps(body)) <= 70 else "@payload.json"
+            print(f"  $ curl -X {method} {url}{path} -d '{shown}'")
+        else:
+            print(f"  $ curl {url}{path}")
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url + path, data=data, method=method,
+                                     headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=15) as response:
+        raw = response.read().decode()
+    if response.headers.get("Content-Type", "").startswith("application/json"):
+        return json.loads(raw)
+    return raw
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smaller load storm")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="storm size (default per preset)")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    total_requests = args.requests or (200 if args.fast else 600)
+    rng = np.random.default_rng(0)
+
+    # -- 1. the stack: server -> fleet -> gateway ------------------------- #
+    server = InferenceServer(max_batch_size=16, max_wait_ms=0.5, cache_size=128)
+    server.deploy("persistence", Persistence(), version="v0")
+    fleet = StreamFleet(server, history=HISTORY, horizon=HORIZON, monitor_window=64)
+    fleet.add_streams(["north", "south"])
+
+    def resolver(spec):  # admin deploys name models over HTTP via this hook
+        return Persistence(offset=float(spec.get("offset", 0.0)))
+
+    gateway = Gateway(server, fleet=fleet, model_resolver=resolver)
+    gateway.start(port=0)
+    url = gateway.url
+    print(f"=== Gateway listening on {url} (ephemeral port) ===\n")
+
+    try:
+        # -- 2. data plane ------------------------------------------------ #
+        print("--- data plane ---")
+        health = call(url, "GET", "/healthz")
+        print(f"    healthz: {health}\n")
+
+        window = rng.uniform(40.0, 80.0, size=(HISTORY, NODES))
+        result = call(url, "POST", "/predict", {"window": window.tolist()})
+        print(f"    forecast mean[0]: {np.round(result['mean'][0], 1).tolist()}"
+              f"  (horizon {result['horizon']}, {result['num_nodes']} nodes)\n")
+
+        print(f"    feeding {HISTORY + 4} observation rows per stream ...")
+        for step in range(HISTORY + 4):
+            tick = call(url, "POST", "/observe", {
+                "observations": {
+                    "north": rng.uniform(40.0, 80.0, NODES).tolist(),
+                    "south": rng.uniform(40.0, 80.0, NODES).tolist(),
+                },
+                "return_forecasts": True,
+            }, quiet=step > 0)
+        for name, entry in tick["streams"].items():
+            coverage = entry["coverage"]
+            print(f"    {name}: step {entry['step']}, forecast_ready "
+                  f"{entry['forecast_ready']}, rolling coverage "
+                  f"{coverage if coverage is None else round(coverage, 1)}%")
+        print()
+
+        # -- 3. canary ramp under storm ----------------------------------- #
+        print(f"--- canary ramp over /admin while {total_requests} requests storm /predict ---")
+        loadgen = LoadGenerator(url, num_workers=4, seed=11,
+                                history=HISTORY, nodes=NODES)
+        outcome = {}
+        storm = threading.Thread(
+            target=lambda: outcome.update(report=loadgen.run(total_requests)),
+            daemon=True,
+        )
+        storm.start()
+
+        call(url, "POST", "/admin/deploy",
+             {"name": "candidate", "model": {"offset": 0.0}, "version": "v1"})
+        call(url, "POST", "/admin/routes",
+             {"weights": {"": 0.7, "candidate": 0.3}})  # 30% canary split
+        time.sleep(0.05)
+        call(url, "POST", "/admin/promote", {"name": "candidate"})
+        print("    candidate promoted to the default route")
+        time.sleep(0.05)
+        call(url, "POST", "/admin/deploy",
+             {"name": "biased", "model": {"offset": 25.0}, "version": "v2"})
+        call(url, "POST", "/admin/promote", {"name": "biased"})
+        time.sleep(0.05)
+        call(url, "POST", "/admin/rollback", {"name": "biased"})
+        print("    biased candidate rolled back (and undeployed)")
+        call(url, "POST", "/admin/routes", {"weights": {"": 1.0}})
+
+        storm.join(timeout=120.0)
+        report = outcome["report"]
+        print("\n    load report:")
+        for line in report.summary().splitlines():
+            print(f"      {line}")
+        routes = call(url, "GET", "/admin/routes", quiet=True)
+        print(f"    routes after ramp: default_route={routes['default_route']!r}, "
+              f"deployments={routes['deployments']}\n")
+
+        # -- 4. ops plane ------------------------------------------------- #
+        print("--- Prometheus scrape ---")
+        text = call(url, "GET", "/metrics")
+        series = parse_prometheus_text(text)
+        predict_200 = series["gateway_requests_total"][
+            (("code", "200"), ("route", "/predict"))]
+        print(f"    {len(series)} metric families, "
+              f"{sum(len(s) for s in series.values())} series")
+        print(f"    gateway_requests_total{{route=/predict,code=200}} = {predict_200:.0f}")
+        print(f"    repro_server_requests_served_total = "
+              f"{series['repro_server_requests_served_total'][()]:.0f}")
+        p99 = series["gateway_request_latency_seconds"].get(
+            (("quantile", "0.99"), ("route", "/predict")))
+        print(f"    /predict p99 latency = {p99 * 1e3:.2f} ms")
+
+        snap = call(url, "GET", "/snapshot", quiet=True)
+        print(f"    snapshot: tick {snap['tick']}, "
+              f"{snap['num_streams']} streams, "
+              f"server promotions {snap['server']['promotions']}, "
+              f"rollbacks {snap['server']['rollbacks']}")
+    finally:
+        gateway.stop(timeout=10.0)
+    print("\n=== gateway stopped cleanly ===")
+
+
+if __name__ == "__main__":
+    main()

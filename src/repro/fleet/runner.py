@@ -39,6 +39,7 @@ from repro.serving.router import KeyRouter, Router
 from repro.streaming.drift import DRIFT_KINDS, DriftEvent, EventLog
 from repro.streaming.runner import StepResult
 from repro.streaming.shard import StreamCore
+from repro.utils.jsonsafe import json_ready
 
 
 @dataclass
@@ -654,6 +655,10 @@ class StreamFleet:
         state, and the shared server's stats (serving counters, cache
         statistics and per-deployment :class:`~repro.serving.ModelPool`
         stats) — everything a ``/metrics`` endpoint needs in one call.
+
+        The returned structure is strictly JSON-native
+        (:func:`~repro.utils.jsonsafe.json_ready` runs at the end), so the
+        gateway's ``/snapshot`` endpoint can ``json.dumps`` it verbatim.
         """
         streams: Dict[str, Any] = {}
         for name, stream in self.streams.items():
@@ -677,7 +682,7 @@ class StreamFleet:
             snap["spatial"] = self.spatial.stats()
         if hasattr(self.server, "stats"):
             snap["server"] = self.server.stats
-        return snap
+        return json_ready(snap)
 
     # ------------------------------------------------------------------ #
     # Persistence (sharded per-stream checkpoints)

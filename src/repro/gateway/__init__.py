@@ -1,0 +1,49 @@
+"""The network serving plane: HTTP gateway, Prometheus metrics, load testing.
+
+``repro.gateway`` turns the in-process serving/fleet stack into a deployable
+service using only the standard library:
+
+* :class:`~repro.gateway.gateway.Gateway` — a
+  :class:`http.server.ThreadingHTTPServer` front end exposing the data plane
+  (``POST /predict`` through the router/micro-batcher, ``POST /observe``
+  into the fleet's online loop), the ops plane (``GET /snapshot``,
+  ``GET /metrics`` in Prometheus text format, ``GET /healthz``) and the
+  admin plane (``POST /admin/deploy|promote|rollback|routes``) — a full
+  canary ramp is operable with curl;
+* :class:`~repro.gateway.metrics.GatewayMetrics` /
+  :func:`~repro.gateway.metrics.render_prometheus` — request/latency/error
+  counters and the text exposition over gateway + server + fleet state
+  (:func:`~repro.gateway.metrics.parse_prometheus_text` reads it back);
+* :class:`~repro.gateway.loadgen.LoadGenerator` — a seeded closed-loop load
+  generator (urllib + ThreadPool workers, per-request latency recording)
+  shared by the smoke/storm tests and ``benchmarks/bench_http_gateway.py``.
+
+Typical service::
+
+    server = InferenceServer(cache_size=4096)
+    server.deploy("baseline", forecaster)
+    fleet = StreamFleet(server, history=12, horizon=4)
+    fleet.add_streams([f"corridor-{i}" for i in range(8)])
+    with Gateway(server, fleet=fleet) as gateway:   # ephemeral port
+        print(gateway.url)                          # curl away
+        ...
+    # stop() drains in-flight requests within a bounded timeout
+"""
+
+from repro.gateway.gateway import ApiError, Gateway
+from repro.gateway.loadgen import LoadGenerator, LoadReport
+from repro.gateway.metrics import (
+    GatewayMetrics,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+__all__ = [
+    "ApiError",
+    "Gateway",
+    "GatewayMetrics",
+    "LoadGenerator",
+    "LoadReport",
+    "parse_prometheus_text",
+    "render_prometheus",
+]

@@ -1,0 +1,265 @@
+"""Closed-loop HTTP load generator for the gateway (urllib + ThreadPool).
+
+``N`` workers each run a *closed loop* against the gateway: issue one
+request, block for the response, validate it, record the latency, repeat —
+the concurrent-fetch idiom, offered load therefore tracks service capacity
+instead of overrunning it.  Workers are seeded independently, so a run is
+reproducible request-for-request.
+
+The same generator drives both the tier-1 smoke/storm tests (small request
+counts, correctness assertions: zero dropped, zero malformed) and
+``benchmarks/bench_http_gateway.py`` (sustained req/s plus p50/p99 latency
+gates).  A run is summarized by a :class:`LoadReport`:
+
+* ``ok`` — HTTP 200 responses whose body passed validation;
+* ``http_errors`` — well-formed non-2xx responses (the server said no);
+* ``dropped`` — transport failures, timeouts, or malformed/invalid response
+  bodies — the "request fell on the floor" bucket every zero-drop
+  acceptance gate asserts empty.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from multiprocessing.pool import ThreadPool
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LoadGenerator", "LoadReport", "default_payload_fn", "default_validate_fn"]
+
+#: ``payload_fn(rng, request_index) -> (path, json_body)``.
+PayloadFn = Callable[[np.random.Generator, int], Tuple[str, Dict[str, Any]]]
+#: ``validate_fn(status, parsed_body) -> bool`` — False marks the response invalid.
+ValidateFn = Callable[[int, Any], bool]
+
+
+def default_payload_fn(history: int, nodes: int) -> PayloadFn:
+    """Random ``POST /predict`` windows in a traffic-like value range."""
+
+    def payload(rng: np.random.Generator, index: int) -> Tuple[str, Dict[str, Any]]:
+        window = rng.uniform(0.0, 120.0, size=(history, nodes))
+        return "/predict", {"window": window.tolist()}
+
+    return payload
+
+
+def default_validate_fn(status: int, body: Any) -> bool:
+    """A valid predict response: 200 with a finite numeric mean matrix."""
+    if status != 200 or not isinstance(body, dict):
+        return False
+    mean = body.get("mean")
+    if not isinstance(mean, list) or not mean:
+        return False
+    try:
+        array = np.asarray(mean, dtype=np.float64)
+    except (TypeError, ValueError):
+        return False
+    return array.ndim == 2 and array.size > 0 and bool(np.isfinite(array).all())
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one closed-loop run."""
+
+    requests: int
+    ok: int
+    http_errors: int
+    dropped: int
+    duration: float
+    latencies: List[float] = field(default_factory=list, repr=False)  # seconds
+    status_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of wall-clock run time."""
+        return self.requests / self.duration if self.duration > 0 else 0.0
+
+    def latency_ms(self, quantile: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.quantile(np.asarray(self.latencies), quantile) * 1e3)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_ms(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_ms(0.99)
+
+    def summary(self) -> str:
+        statuses = ", ".join(
+            f"{code}: {count}" for code, count in sorted(self.status_counts.items())
+        )
+        return "\n".join(
+            [
+                f"requests:    {self.requests} "
+                f"(ok: {self.ok}, http errors: {self.http_errors}, dropped: {self.dropped})",
+                f"duration:    {self.duration:.3f} s "
+                f"({self.throughput:.1f} req/s closed-loop)",
+                f"latency:     p50 {self.p50_ms:.2f} ms | "
+                f"p99 {self.p99_ms:.2f} ms | max {self.latency_ms(1.0):.2f} ms",
+                f"status codes: {statuses or '(none)'}",
+            ]
+        )
+
+
+class LoadGenerator:
+    """Seeded closed-loop load against one gateway URL.
+
+    Parameters
+    ----------
+    base_url:
+        Gateway root, e.g. ``gateway.url`` (``http://127.0.0.1:<port>``).
+    num_workers:
+        Concurrent closed loops (a :class:`multiprocessing.pool.ThreadPool`;
+        requests are I/O-bound, so threads are the right concurrency).
+    seed:
+        Base seed; worker ``w`` derives its own independent generator, so
+        runs are reproducible for any worker count.
+    payload_fn:
+        Builds each request; defaults to random ``/predict`` windows of
+        shape ``(history, nodes)``.
+    validate_fn:
+        Judges each response; an invalid body counts as *dropped* even on a
+        200 — a malformed success is still a failed request.
+    timeout:
+        Per-request socket timeout (exceeding it counts as dropped).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        num_workers: int = 4,
+        seed: int = 0,
+        payload_fn: Optional[PayloadFn] = None,
+        validate_fn: Optional[ValidateFn] = None,
+        history: int = 8,
+        nodes: int = 4,
+        timeout: float = 10.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.base_url = str(base_url).rstrip("/")
+        self.num_workers = int(num_workers)
+        self.seed = int(seed)
+        self.payload_fn = (
+            payload_fn if payload_fn is not None else default_payload_fn(history, nodes)
+        )
+        self.validate_fn = validate_fn if validate_fn is not None else default_validate_fn
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    def _one_request(
+        self, rng: np.random.Generator, index: int
+    ) -> Tuple[Optional[int], bool, float]:
+        """Returns ``(status or None, valid, latency_seconds)``."""
+        path, body = self.payload_fn(rng, index)
+        data = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        started = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                status = int(response.status)
+                raw = response.read()
+        except urllib.error.HTTPError as error:
+            # A well-formed non-2xx response — read it so validation can see it.
+            status = int(error.code)
+            try:
+                raw = error.read()
+            except OSError:
+                raw = b""
+        except (urllib.error.URLError, OSError):
+            return None, False, time.perf_counter() - started
+        latency = time.perf_counter() - started
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return status, False, latency
+        return status, bool(self.validate_fn(status, parsed)), latency
+
+    def _worker(self, args: Tuple[int, int, Optional[float]]) -> Dict[str, Any]:
+        worker_index, request_budget, deadline = args
+        # A large odd stride keeps worker streams disjoint for any seed.
+        rng = np.random.default_rng(self.seed + 1_000_003 * (worker_index + 1))
+        statuses: Dict[int, int] = {}
+        latencies: List[float] = []
+        ok = http_errors = dropped = 0
+        index = 0
+        while (request_budget is None or index < request_budget) and (
+            deadline is None or time.monotonic() < deadline
+        ):
+            status, valid, latency = self._one_request(rng, index)
+            index += 1
+            latencies.append(latency)
+            if status is None:
+                dropped += 1
+                continue
+            statuses[status] = statuses.get(status, 0) + 1
+            if status == 200 and valid:
+                ok += 1
+            elif status != 200:
+                http_errors += 1
+            else:
+                dropped += 1  # 200 but malformed/invalid body
+        return {
+            "requests": index,
+            "ok": ok,
+            "http_errors": http_errors,
+            "dropped": dropped,
+            "latencies": latencies,
+            "statuses": statuses,
+        }
+
+    def run(
+        self,
+        total_requests: Optional[int] = None,
+        duration: Optional[float] = None,
+    ) -> LoadReport:
+        """Run the closed loops to completion and aggregate the report.
+
+        Give ``total_requests`` (split evenly across workers) for exact
+        request counts, or ``duration`` seconds for a timed run, or both
+        (whichever bound hits first stops each worker).
+        """
+        if total_requests is None and duration is None:
+            raise ValueError("give total_requests and/or duration")
+        deadline = time.monotonic() + float(duration) if duration is not None else None
+        budgets: List[Optional[int]]
+        if total_requests is not None:
+            base, extra = divmod(int(total_requests), self.num_workers)
+            budgets = [base + (1 if w < extra else 0) for w in range(self.num_workers)]
+        else:
+            budgets = [None] * self.num_workers
+        started = time.perf_counter()
+        with ThreadPool(processes=self.num_workers) as pool:
+            outcomes = pool.map(
+                self._worker,
+                [(w, budgets[w], deadline) for w in range(self.num_workers)],
+            )
+        elapsed = time.perf_counter() - started
+        statuses: Dict[int, int] = {}
+        latencies: List[float] = []
+        for outcome in outcomes:
+            for code, count in outcome["statuses"].items():
+                statuses[code] = statuses.get(code, 0) + count
+            latencies.extend(outcome["latencies"])
+        return LoadReport(
+            requests=sum(o["requests"] for o in outcomes),
+            ok=sum(o["ok"] for o in outcomes),
+            http_errors=sum(o["http_errors"] for o in outcomes),
+            dropped=sum(o["dropped"] for o in outcomes),
+            duration=elapsed,
+            latencies=latencies,
+            status_counts=statuses,
+        )

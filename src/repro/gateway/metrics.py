@@ -1,0 +1,434 @@
+"""Prometheus text exposition for the gateway's ``GET /metrics`` endpoint.
+
+Three layers feed one scrape, rendered in the text format (version 0.0.4)
+every Prometheus-compatible collector understands:
+
+* **gateway counters** — per-route request/latency/error tracking collected
+  by :class:`GatewayMetrics` as requests flow through the handler
+  (``gateway_requests_total{route,code}``, a rolling-window latency summary
+  with p50/p99 quantiles, in-flight gauge, uptime);
+* **serving counters** — :attr:`InferenceServer.stats` flattened into
+  ``repro_server_*`` / ``repro_cache_*`` series plus per-deployment
+  ``repro_deployment_*{deployment,version}`` series;
+* **fleet state** — per-stream rolling PICP / MAE / RMSE / width gauges and
+  per-kind drift-event counters from :meth:`StreamFleet.snapshot`, plus
+  fleet-level tick / event counters.
+
+:func:`parse_prometheus_text` is the matching reader — the smoke tests and
+the HTTP benchmark scrape ``/metrics`` and assert through it, so the emitted
+text is guaranteed machine-parseable, not just eyeballable.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter, deque
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["GatewayMetrics", "render_prometheus", "parse_prometheus_text"]
+
+#: Scalar ``InferenceServer.stats`` keys that are monotonic counters; the
+#: remaining numeric scalars render as gauges.
+_SERVER_COUNTER_KEYS = frozenset(
+    {
+        "requests_served",
+        "batches_dispatched",
+        "model_windows",
+        "shadow_windows",
+        "models_swapped",
+        "promotions",
+        "rollbacks",
+        "route_fallbacks",
+        "shadow_errors",
+        "stranded_requests",
+    }
+)
+_CACHE_COUNTER_KEYS = frozenset({"hits", "misses", "evictions"})
+_DEPLOYMENT_COUNTER_KEYS = frozenset(
+    {"requests_served", "model_windows", "shadow_windows"}
+)
+#: Per-stream monitor-snapshot keys exported as ``repro_stream_<key>`` gauges.
+_STREAM_METRIC_KEYS = (
+    "coverage",
+    "mean_width",
+    "mae",
+    "rmse",
+    "winkler",
+    "scored_steps",
+    "steps",
+)
+
+
+class GatewayMetrics:
+    """Thread-safe request/latency/error accounting for the HTTP plane.
+
+    Latencies are kept per route in a bounded ring (`latency_window` most
+    recent samples) for the quantile readout, alongside exact running
+    count/sum — the summary's ``_count`` / ``_sum`` series stay monotonic
+    even after the ring starts evicting.
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        if latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+        self.latency_window = int(latency_window)
+        self._lock = threading.Lock()
+        self._requests: Counter = Counter()          # (route, code) -> count
+        self._latencies: Dict[str, deque] = {}       # route -> recent seconds
+        self._latency_count: Counter = Counter()     # route -> total samples
+        self._latency_sum: Dict[str, float] = {}     # route -> total seconds
+        self._started = time.monotonic()
+
+    def record(self, route: str, code: int, seconds: float) -> None:
+        """Fold one finished request into the counters."""
+        route, code, seconds = str(route), int(code), float(seconds)
+        with self._lock:
+            self._requests[(route, code)] += 1
+            ring = self._latencies.get(route)
+            if ring is None:
+                ring = self._latencies[route] = deque(maxlen=self.latency_window)
+            ring.append(seconds)
+            self._latency_count[route] += 1
+            self._latency_sum[route] = self._latency_sum.get(route, 0.0) + seconds
+
+    def quantile(self, route: str, q: float) -> float:
+        """Rolling-window latency quantile (seconds; NaN with no samples)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        with self._lock:
+            ring = self._latencies.get(route)
+            samples = sorted(ring) if ring else []
+        if not samples:
+            return float("nan")
+        index = min(int(math.ceil(q * len(samples))) - 1, len(samples) - 1)
+        return float(samples[max(index, 0)])
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready counters (per-route requests by code, error total)."""
+        with self._lock:
+            requests: Dict[str, Dict[str, int]] = {}
+            for (route, code), count in sorted(self._requests.items()):
+                requests.setdefault(route, {})[str(code)] = count
+            errors = sum(
+                count for (_, code), count in self._requests.items() if code >= 400
+            )
+            total = sum(self._requests.values())
+        return {
+            "requests_total": total,
+            "errors_total": errors,
+            "requests": requests,
+            "uptime_seconds": self.uptime_seconds,
+        }
+
+    def routes(self) -> List[str]:
+        with self._lock:
+            return sorted({route for route, _ in self._requests})
+
+
+# --------------------------------------------------------------------------- #
+# Text exposition
+# --------------------------------------------------------------------------- #
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: Any) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _sample(name: str, labels: Optional[Dict[str, Any]], value: Any) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(val)}"' for key, val in labels.items()
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+class _Exposition:
+    """Accumulates families in order, emitting HELP/TYPE once per family."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._seen: set = set()
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        if name not in self._seen:
+            self._seen.add(name)
+            self.lines.append(f"# HELP {name} {help_text}")
+            self.lines.append(f"# TYPE {name} {kind}")
+
+    def add(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        value: Any,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.header(name, kind, help_text)
+        self.lines.append(_sample(name, labels, value))
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _render_gateway(exp: _Exposition, gateway: Any) -> None:
+    metrics: GatewayMetrics = gateway.metrics
+    with metrics._lock:
+        requests = sorted(metrics._requests.items())
+        latency_counts = dict(metrics._latency_count)
+        latency_sums = dict(metrics._latency_sum)
+    for (route, code), count in requests:
+        exp.add(
+            "gateway_requests_total",
+            "counter",
+            "HTTP requests handled, by route and status code.",
+            count,
+            {"route": route, "code": code},
+        )
+    for route in sorted(latency_counts):
+        exp.header(
+            "gateway_request_latency_seconds",
+            "summary",
+            "Per-route request latency (rolling-window quantiles).",
+        )
+        for q in (0.5, 0.99):
+            exp.lines.append(
+                _sample(
+                    "gateway_request_latency_seconds",
+                    {"route": route, "quantile": str(q)},
+                    metrics.quantile(route, q),
+                )
+            )
+        exp.lines.append(
+            _sample(
+                "gateway_request_latency_seconds_count",
+                {"route": route},
+                latency_counts[route],
+            )
+        )
+        exp.lines.append(
+            _sample(
+                "gateway_request_latency_seconds_sum",
+                {"route": route},
+                latency_sums[route],
+            )
+        )
+    exp.add(
+        "gateway_inflight_requests",
+        "gauge",
+        "Requests currently being handled.",
+        gateway.inflight_requests,
+    )
+    exp.add(
+        "gateway_uptime_seconds",
+        "gauge",
+        "Seconds since the gateway metrics started.",
+        metrics.uptime_seconds,
+    )
+
+
+def _render_server(exp: _Exposition, stats: Dict[str, Any]) -> None:
+    deployments = stats.get("deployments") or {}
+    default_route = stats.get("default_route")
+    for key, value in stats.items():
+        if key in ("deployments", "default_route") or isinstance(value, (dict, str)):
+            continue
+        if key.startswith("cache_"):
+            short = key[len("cache_"):]
+            kind = "counter" if short in _CACHE_COUNTER_KEYS else "gauge"
+            name = f"repro_cache_{short}" + ("_total" if kind == "counter" else "")
+            exp.add(name, kind, f"Shared prediction cache {short}.", value)
+            continue
+        kind = "counter" if key in _SERVER_COUNTER_KEYS else "gauge"
+        name = f"repro_server_{key}" + ("_total" if kind == "counter" else "")
+        exp.add(name, kind, f"Inference server {key}.", value)
+    if default_route is not None:
+        exp.add(
+            "repro_server_default_route",
+            "gauge",
+            "1 on the deployment currently holding the default route.",
+            1,
+            {"deployment": default_route},
+        )
+    for name, dep_stats in sorted(deployments.items()):
+        labels = {"deployment": name, "version": dep_stats.get("version", "")}
+        for key, value in dep_stats.items():
+            if key == "version" or isinstance(value, (dict, str)):
+                continue
+            kind = "counter" if key in _DEPLOYMENT_COUNTER_KEYS else "gauge"
+            metric = f"repro_deployment_{key}" + ("_total" if kind == "counter" else "")
+            exp.add(metric, kind, f"Per-deployment {key}.", value, labels)
+
+
+def _render_fleet(exp: _Exposition, snapshot: Dict[str, Any]) -> None:
+    exp.add("repro_fleet_tick", "counter", "Fleet ticks completed.", snapshot["tick"])
+    exp.add(
+        "repro_fleet_streams",
+        "gauge",
+        "Streams registered in the fleet.",
+        snapshot["num_streams"],
+    )
+    fleet_kinds = Counter(event["kind"] for event in snapshot.get("events", ()))
+    for kind, count in sorted(fleet_kinds.items()):
+        exp.add(
+            "repro_fleet_events_total",
+            "counter",
+            "Fleet-level events (spatial incidents, refit coordination), by kind.",
+            count,
+            {"kind": kind},
+        )
+    for name, stream in sorted(snapshot.get("streams", {}).items()):
+        labels = {"stream": name}
+        exp.add(
+            "repro_stream_step",
+            "counter",
+            "Observations ingested by the stream.",
+            stream["step"],
+            labels,
+        )
+        exp.add(
+            "repro_stream_warmed_up",
+            "gauge",
+            "1 once the stream's history window is full.",
+            1 if stream["warmed_up"] else 0,
+            labels,
+        )
+        stream_metrics = stream.get("metrics", {})
+        for key in _STREAM_METRIC_KEYS:
+            if key in stream_metrics:
+                exp.add(
+                    f"repro_stream_{key}",
+                    "gauge",
+                    f"Rolling {key} of the stream's monitor window.",
+                    stream_metrics[key],
+                    labels,
+                )
+        kinds = Counter(event["kind"] for event in stream.get("events", ()))
+        for kind, count in sorted(kinds.items()):
+            exp.add(
+                "repro_stream_events_total",
+                "counter",
+                "Per-stream drift/lifecycle events, by kind.",
+                count,
+                {"stream": name, "kind": kind},
+            )
+    refits = snapshot.get("refits")
+    if refits is not None:
+        exp.add(
+            "repro_fleet_refit_triggers_total",
+            "counter",
+            "Coordinated region refits triggered.",
+            refits["triggers"],
+        )
+        exp.add(
+            "repro_fleet_refits_completed_total",
+            "counter",
+            "Coordinated region refits completed.",
+            refits["refits_completed"],
+        )
+    spatial = snapshot.get("spatial")
+    if spatial is not None:
+        exp.add(
+            "repro_fleet_spatial_incidents_total",
+            "counter",
+            "Spatial incidents fired by the corridor-graph aggregator.",
+            spatial["incidents"],
+        )
+
+
+def render_prometheus(gateway: Any) -> str:
+    """Render one scrape of the gateway (and the stack behind it) as text."""
+    exp = _Exposition()
+    _render_gateway(exp, gateway)
+    fleet = getattr(gateway, "fleet", None)
+    if fleet is not None:
+        snapshot = fleet.snapshot()
+        _render_fleet(exp, snapshot)
+        server_stats = snapshot.get("server")
+    else:
+        server_stats = None
+    if server_stats is None:
+        server_stats = gateway.server.stats
+    _render_server(exp, server_stats)
+    return exp.text()
+
+
+# --------------------------------------------------------------------------- #
+# Parsing (tests + benchmark scrapes)
+# --------------------------------------------------------------------------- #
+def _parse_labels(text: str) -> Tuple[Tuple[str, str], ...]:
+    labels: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(text):
+        eq = text.index("=", index)
+        key = text[index:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"malformed label value in {text!r}"
+        value_chars: List[str] = []
+        cursor = eq + 2
+        while text[cursor] != '"':
+            if text[cursor] == "\\":
+                cursor += 1
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(text[cursor], text[cursor])
+                )
+            else:
+                value_chars.append(text[cursor])
+            cursor += 1
+        labels.append((key, "".join(value_chars)))
+        index = cursor + 1
+    return tuple(sorted(labels))
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse text exposition into ``{metric: {sorted label tuple: value}}``.
+
+    Raises ``ValueError`` on any line that is neither a comment, blank, nor a
+    well-formed sample — the smoke tests run every scrape through this, so a
+    formatting regression in the renderer fails loudly.
+    """
+    series: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_text, value_text = rest.rsplit("}", 1)
+            labels = _parse_labels(label_text)
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed sample line: {line!r}")
+            name, value_text = parts
+            labels = ()
+        name = name.strip()
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"malformed metric name in line: {line!r}")
+        try:
+            value = float(value_text.strip().replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as error:
+            raise ValueError(f"malformed value in line: {line!r}") from error
+        series.setdefault(name, {})[labels] = value
+    return series

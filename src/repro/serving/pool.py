@@ -88,13 +88,14 @@ class Deployment:
 
     @property
     def stats(self) -> Dict[str, float]:
+        """JSON-native counters (builtin scalars only — gateway-serializable)."""
         with self._lock:
             return {
                 "version": self.version,
-                "requests_served": self._requests_served,
-                "model_windows": self._model_windows,
-                "shadow_windows": self._shadow_windows,
-                "shadow_divergence": self._divergence.mean,
+                "requests_served": int(self._requests_served),
+                "model_windows": int(self._model_windows),
+                "shadow_windows": int(self._shadow_windows),
+                "shadow_divergence": float(self._divergence.mean),
             }
 
     def __repr__(self) -> str:

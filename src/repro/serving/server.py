@@ -39,6 +39,7 @@ from repro.serving.batching import InferenceRequest, MicroBatcher
 from repro.serving.cache import SharedPredictionCache, prediction_cache_key
 from repro.serving.pool import Deployment, ModelPool, PredictFn, resolve_predict_fn
 from repro.serving.router import RouteDecision, Router
+from repro.utils.jsonsafe import json_ready
 
 
 class ServerStopped(RuntimeError):
@@ -385,9 +386,18 @@ class InferenceServer:
 
     @property
     def stats(self) -> Dict[str, Any]:
-        """Serving counters, cache statistics, and per-deployment stats."""
+        """Serving counters, cache statistics, and per-deployment stats.
+
+        Strictly JSON-native (the gateway's ops endpoints serialize it
+        verbatim): every value is a builtin scalar, list or dict —
+        :func:`~repro.utils.jsonsafe.json_ready` coerces at the source.
+        """
+        with self._futures_lock:
+            outstanding = len(self._outstanding)
         with self._lock:
             stats: Dict[str, Any] = {
+                "running": self._running,
+                "outstanding_requests": outstanding,
                 "requests_served": self._requests_served,
                 "batches_dispatched": self._batches_dispatched,
                 "model_windows": self._model_windows,
@@ -409,7 +419,7 @@ class InferenceServer:
                 stats[f"cache_{name}"] = value
         stats["default_route"] = self.pool.default_name
         stats["deployments"] = self.pool.stats
-        return stats
+        return json_ready(stats)
 
     def deployment_stats(self, name: str) -> Dict[str, float]:
         """Counters and rolling shadow divergence of one deployment."""

@@ -62,7 +62,9 @@ class RollingStat:
     def mean(self) -> float:
         if self._count == 0:
             return float("nan")
-        return self._sum / self._count
+        # float(): the eviction path subtracts an ndarray element, silently
+        # promoting _sum to np.float64 — keep the read JSON-native.
+        return float(self._sum) / self._count
 
     def reset(self) -> None:
         self._values[:] = 0.0

@@ -1,5 +1,6 @@
 """Small shared utilities: seeding, checkpointing, table formatting."""
 
+from repro.utils.jsonsafe import json_ready
 from repro.utils.seed import seed_everything
 from repro.utils.serialization import (
     load_checkpoint,
@@ -12,6 +13,7 @@ from repro.utils.serialization import (
 from repro.utils.tables import format_table
 
 __all__ = [
+    "json_ready",
     "seed_everything",
     "save_model_weights",
     "load_model_weights",

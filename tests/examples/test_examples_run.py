@@ -26,7 +26,8 @@ class TestExamples:
         assert {"quickstart.py", "compare_uq_methods.py", "emergency_routing.py",
                 "custom_dataset.py", "serving_demo.py",
                 "streaming_dashboard.py", "canary_promotion.py",
-                "fleet_demo.py", "chaos_demo.py"}.issubset(scripts)
+                "fleet_demo.py", "chaos_demo.py",
+                "gateway_demo.py"}.issubset(scripts)
 
     def test_quickstart_fast(self):
         result = _run("quickstart.py", "--fast", "--epochs", "2")
@@ -81,6 +82,17 @@ class TestExamples:
         assert "identical firing steps" in result.stdout
         assert "stream_predict_failed" in result.stdout
         assert "stranded: 0" in result.stdout
+
+    def test_gateway_demo_fast(self):
+        result = _run("gateway_demo.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "Gateway listening" in result.stdout
+        assert "forecast_ready True" in result.stdout
+        assert "candidate promoted" in result.stdout
+        assert "rolled back" in result.stdout
+        assert "dropped: 0" in result.stdout
+        assert "gateway_requests_total" in result.stdout
+        assert "gateway stopped cleanly" in result.stdout
 
     def test_streaming_dashboard_fast(self):
         result = _run("streaming_dashboard.py", "--fast")

@@ -1,0 +1,32 @@
+"""Fixtures for the HTTP gateway suite.
+
+Every test runs a real :class:`ThreadingHTTPServer` on an ephemeral loopback
+port (``start(port=0)``) — no sockets are mocked, so the suite exercises the
+exact wire path production traffic takes.
+"""
+
+import pytest
+
+from repro.gateway import Gateway
+from repro.serving import InferenceServer
+
+from gatewaylib import constant_predictor
+
+
+@pytest.fixture
+def make_gateway():
+    """Factory yielding started gateways; stops every one at teardown."""
+    gateways = []
+
+    def build(server=None, fleet=None, **kwargs):
+        if server is None:
+            server = InferenceServer(max_batch_size=8, max_wait_ms=1.0, cache_size=64)
+            server.deploy("gen-0", constant_predictor(0.0))
+        gateway = Gateway(server, fleet=fleet, **kwargs)
+        gateway.start(port=0)
+        gateways.append(gateway)
+        return gateway
+
+    yield build
+    for gateway in gateways:
+        gateway.stop(timeout=10.0)

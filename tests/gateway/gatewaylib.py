@@ -1,0 +1,54 @@
+"""Shared helpers for the HTTP gateway suite (imported by its test modules)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.core.inference import PredictionResult
+
+HISTORY, NODES, HORIZON = 4, 3, 2
+
+
+def constant_predictor(value: float):
+    """A fast deterministic model: every forecast entry equals ``value``."""
+
+    def predict(windows: np.ndarray) -> PredictionResult:
+        mean = np.full((windows.shape[0], HORIZON, windows.shape[2]), float(value))
+        return PredictionResult(
+            mean=mean,
+            aleatoric_var=np.ones_like(mean),
+            epistemic_var=np.zeros_like(mean),
+        )
+
+    return predict
+
+
+def http_call(url: str, method: str, path: str, body=None, timeout: float = 15.0):
+    """One JSON request; returns ``(status, parsed_body, headers)``.
+
+    Non-2xx responses are returned, not raised, so tests assert on status
+    codes directly; ``/metrics`` text comes back as a plain string.
+    """
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    return raw_call(url, method, path, data, timeout=timeout)
+
+
+def raw_call(url: str, method: str, path: str, data=None, timeout: float = 15.0):
+    """Like :func:`http_call` but sends ``data`` bytes verbatim."""
+    request = urllib.request.Request(
+        url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            status, raw, headers = response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        status, raw, headers = error.code, error.read(), dict(error.headers)
+    content_type = headers.get("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return status, json.loads(raw.decode("utf-8")), headers
+    return status, raw.decode("utf-8"), headers

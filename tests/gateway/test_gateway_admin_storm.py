@@ -1,0 +1,116 @@
+"""Admin-vs-data-plane storm over HTTP: a full canary ramp (deploy → traffic
+split → promote → rollback) driven through the admin verbs while a closed-loop
+load generator hammers ``/predict``.  Zero requests may drop, zero may error,
+and every response must come from a valid generation — internally consistent,
+never mixing versions within one forecast."""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.gateway import LoadGenerator
+from repro.serving import InferenceServer
+
+from gatewaylib import HISTORY, NODES, constant_predictor, http_call
+
+#: Constant value served by each generation; responses must stay inside it.
+GENERATION_VALUES = {"gen-0": 0.0, "gen-1": 1.0, "gen-2": 2.0}
+
+
+def _admin(url, method, path, body=None):
+    status, payload, _ = http_call(url, method, path, body)
+    assert status == 200, f"{method} {path} -> {status}: {payload}"
+    return payload
+
+
+def test_promote_rollback_storm_under_http_load(make_gateway):
+    server = InferenceServer(max_batch_size=16, max_wait_ms=1.0, cache_size=64)
+    server.deploy("gen-0", constant_predictor(GENERATION_VALUES["gen-0"]), version="v0")
+
+    def resolver(spec):
+        return constant_predictor(float(spec["value"]))
+
+    gateway = make_gateway(server=server, model_resolver=resolver)
+    url = gateway.url
+    valid_values = set(GENERATION_VALUES.values())
+
+    def validate(status, body):
+        """200 + a mean that is one generation's constant, never a mixture."""
+        if status != 200 or not isinstance(body, dict):
+            return False
+        mean = np.asarray(body.get("mean"), dtype=np.float64)
+        if mean.shape != (mean.shape[0], NODES) or mean.size == 0:
+            return False
+        values = set(np.unique(mean).tolist())
+        return len(values) == 1 and values.pop() in valid_values
+
+    loadgen = LoadGenerator(
+        url,
+        num_workers=4,
+        seed=7,
+        validate_fn=validate,
+        history=HISTORY,
+        nodes=NODES,
+    )
+    outcome = {}
+
+    def pound():
+        outcome["report"] = loadgen.run(total_requests=400)
+
+    thread = threading.Thread(target=pound, daemon=True)
+    thread.start()
+
+    # The full ramp, interleaved with live traffic.
+    _admin(url, "POST", "/admin/deploy", {"name": "gen-1", "model": {"value": 1.0}, "version": "v1"})
+    _admin(url, "POST", "/admin/routes", {"weights": {"": 0.7, "gen-1": 0.3}})
+    time.sleep(0.05)
+    _admin(url, "POST", "/admin/promote", {"name": "gen-1"})
+    time.sleep(0.05)
+    _admin(url, "POST", "/admin/deploy", {"name": "gen-2", "model": {"value": 2.0}, "version": "v2"})
+    _admin(url, "POST", "/admin/routes", {"weights": {"": 0.5, "gen-2": 0.5}})
+    time.sleep(0.05)
+    _admin(url, "POST", "/admin/promote", {"name": "gen-2"})
+    time.sleep(0.05)
+    # Reject the canary: gen-2 is undeployed while its split weight still
+    # points at it — queued requests must fall back to the default, not drop.
+    _admin(url, "POST", "/admin/rollback", {"name": "gen-2"})
+    time.sleep(0.05)
+    _admin(url, "POST", "/admin/routes", {"weights": {"": 1.0}})
+
+    thread.join(timeout=60.0)
+    assert not thread.is_alive(), "load generator never finished"
+    report = outcome["report"]
+
+    assert report.requests == 400
+    assert report.dropped == 0, report.summary()
+    assert report.http_errors == 0, report.summary()
+    assert report.ok == 400
+    assert report.status_counts == {200: 400}
+
+    # The ramp really happened and landed where the rollback left it.
+    routes = _admin(url, "GET", "/admin/routes")
+    assert routes["default_route"] == "gen-1"
+    assert set(routes["deployments"]) == {"gen-0", "gen-1"}
+    stats = server.stats
+    assert stats["promotions"] == 2
+    assert stats["rollbacks"] == 1
+    assert stats["requests_served"] >= 400
+
+
+def test_keyed_routes_over_http(make_gateway):
+    server = InferenceServer(max_batch_size=8, max_wait_ms=1.0)
+    server.deploy("gen-0", constant_predictor(0.0), version="v0")
+    server.deploy("gen-1", constant_predictor(1.0), version="v1")
+    gateway = make_gateway(server=server)
+    url = gateway.url
+
+    info = _admin(url, "POST", "/admin/routes", {"routes": {"region-b": "gen-1"}})
+    assert info["router"]["type"] == "KeyRouter"
+    assert info["router"]["routes"] == {"region-b": "gen-1"}
+
+    window = np.zeros((HISTORY, NODES)).tolist()
+    status, body, _ = http_call(url, "POST", "/predict", {"window": window, "key": "region-a"})
+    assert status == 200 and body["mean"][0][0] == 0.0
+    status, body, _ = http_call(url, "POST", "/predict", {"window": window, "key": "region-b"})
+    assert status == 200 and body["mean"][0][0] == 1.0

@@ -1,0 +1,231 @@
+"""HTTP error taxonomy: every failure mode maps to its status code, and no
+response ever carries a stack trace."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fleet import StreamFleet
+from repro.serving import InferenceServer
+
+from gatewaylib import HISTORY, HORIZON, NODES, constant_predictor, http_call, raw_call
+
+
+def _window():
+    return np.zeros((HISTORY, NODES)).tolist()
+
+
+def _assert_error(body, status):
+    """Error bodies are compact JSON records, never tracebacks."""
+    assert body["error"]["status"] == status
+    text = json.dumps(body)
+    assert "Traceback" not in text
+    assert "File \\\"" not in text
+
+
+# --------------------------------------------------------------------------- #
+# 400 — malformed bodies
+# --------------------------------------------------------------------------- #
+def test_400_invalid_json(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = raw_call(gateway.url, "POST", "/predict", b"{not json")
+    assert status == 400
+    _assert_error(body, 400)
+
+
+def test_400_non_object_body(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = raw_call(gateway.url, "POST", "/predict", b"[1, 2, 3]")
+    assert status == 400
+    _assert_error(body, 400)
+
+
+def test_400_missing_window(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(gateway.url, "POST", "/predict", {"nope": 1})
+    assert status == 400
+    _assert_error(body, 400)
+    assert "window" in body["error"]["message"]
+
+
+@pytest.mark.parametrize(
+    "window",
+    [
+        [1.0, 2.0, 3.0],  # 1-D
+        [["a", "b"], ["c", "d"]],  # non-numeric
+        [],  # empty
+        [[]],  # empty rows
+    ],
+)
+def test_400_bad_window_shapes(make_gateway, window):
+    gateway = make_gateway()
+    status, body, _ = http_call(gateway.url, "POST", "/predict", {"window": window})
+    assert status == 400
+    _assert_error(body, 400)
+
+
+def test_400_misaligned_batch_fields(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(
+        gateway.url, "POST", "/predict", {"windows": [_window()], "keys": ["a", "b"]}
+    )
+    assert status == 400
+    _assert_error(body, 400)
+    status, body, _ = http_call(
+        gateway.url,
+        "POST",
+        "/predict",
+        {"windows": [_window()], "deployments": ["gen-0", "gen-0"]},
+    )
+    assert status == 400
+
+
+def test_400_body_over_size_limit(make_gateway):
+    gateway = make_gateway(max_body_bytes=512)
+    big = {"window": np.zeros((64, 64)).tolist()}
+    status, body, _ = http_call(gateway.url, "POST", "/predict", big)
+    assert status == 400
+    _assert_error(body, 400)
+    assert "byte" in body["error"]["message"]
+
+
+def test_400_observe_non_numeric_row(make_gateway):
+    server = InferenceServer(max_batch_size=8, max_wait_ms=1.0)
+    server.deploy("gen-0", constant_predictor(0.0))
+    fleet = StreamFleet(server, history=HISTORY, horizon=HORIZON)
+    fleet.add_stream("s0")
+    gateway = make_gateway(server=server, fleet=fleet)
+    status, body, _ = http_call(
+        gateway.url, "POST", "/observe", {"stream": "s0", "observation": ["x"] * NODES}
+    )
+    assert status == 400
+    _assert_error(body, 400)
+
+
+def test_400_deploy_without_resolver_or_checkpoint(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(
+        gateway.url, "POST", "/admin/deploy", {"name": "x", "model": {"value": 1}}
+    )
+    assert status == 400
+    _assert_error(body, 400)
+    status, body, _ = http_call(gateway.url, "POST", "/admin/deploy", {"name": "x"})
+    assert status == 400
+    status, body, _ = http_call(
+        gateway.url, "POST", "/admin/deploy", {"name": "x", "checkpoint": "/no/such/dir"}
+    )
+    assert status == 400
+    _assert_error(body, 400)
+
+
+# --------------------------------------------------------------------------- #
+# 404 — unknown things
+# --------------------------------------------------------------------------- #
+def test_404_unknown_path(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(gateway.url, "GET", "/nope")
+    assert status == 404
+    _assert_error(body, 404)
+
+
+def test_404_unknown_deployment(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(
+        gateway.url, "POST", "/predict", {"window": _window(), "deployment": "ghost"}
+    )
+    assert status == 404
+    _assert_error(body, 404)
+    assert "ghost" in body["error"]["message"]
+
+
+def test_404_promote_unknown_deployment(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(gateway.url, "POST", "/admin/promote", {"name": "ghost"})
+    assert status == 404
+    _assert_error(body, 404)
+
+
+def test_404_observe_without_fleet(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(
+        gateway.url, "POST", "/observe", {"stream": "s0", "observation": [1.0] * NODES}
+    )
+    assert status == 404
+    _assert_error(body, 404)
+
+
+def test_404_observe_unknown_stream(make_gateway):
+    server = InferenceServer(max_batch_size=8, max_wait_ms=1.0)
+    server.deploy("gen-0", constant_predictor(0.0))
+    fleet = StreamFleet(server, history=HISTORY, horizon=HORIZON)
+    fleet.add_stream("s0")
+    gateway = make_gateway(server=server, fleet=fleet)
+    status, body, _ = http_call(
+        gateway.url, "POST", "/observe", {"stream": "ghost", "observation": [1.0] * NODES}
+    )
+    assert status == 404
+    _assert_error(body, 404)
+
+
+def test_404_routes_with_unknown_deployment(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(
+        gateway.url, "POST", "/admin/routes", {"weights": {"ghost": 1.0}}
+    )
+    assert status == 404
+    _assert_error(body, 404)
+
+
+# --------------------------------------------------------------------------- #
+# 405 / 409
+# --------------------------------------------------------------------------- #
+def test_405_wrong_method(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(gateway.url, "GET", "/predict")
+    assert status == 405
+    _assert_error(body, 405)
+    status, body, _ = http_call(gateway.url, "POST", "/healthz", {})
+    assert status == 405
+    _assert_error(body, 405)
+
+
+def test_409_rollback_without_history(make_gateway):
+    gateway = make_gateway()
+    status, body, _ = http_call(gateway.url, "POST", "/admin/rollback", {})
+    assert status == 409
+    _assert_error(body, 409)
+
+
+# --------------------------------------------------------------------------- #
+# 500 — a model blowing up stays an opaque internal error
+# --------------------------------------------------------------------------- #
+def test_500_model_failure_does_not_leak_details(make_gateway):
+    def exploding(windows):
+        raise ValueError("secret internal detail")
+
+    server = InferenceServer(max_batch_size=8, max_wait_ms=1.0)
+    server.deploy("gen-0", constant_predictor(0.0))
+    server.deploy("bad", exploding)
+    gateway = make_gateway(server=server)
+    status, body, _ = http_call(
+        gateway.url, "POST", "/predict", {"window": _window(), "deployment": "bad"}
+    )
+    assert status == 500
+    _assert_error(body, 500)
+    assert body["error"]["message"] == "internal error: ValueError"
+    assert "secret" not in json.dumps(body)
+
+
+# --------------------------------------------------------------------------- #
+# 503 — stopped server answers unavailable, with Retry-After
+# --------------------------------------------------------------------------- #
+def test_503_when_inference_server_stopped(make_gateway):
+    gateway = make_gateway()
+    gateway.server.stop()
+    status, body, headers = http_call(
+        gateway.url, "POST", "/predict", {"window": _window()}
+    )
+    assert status == 503
+    _assert_error(body, 503)
+    assert headers["Retry-After"] == "1"

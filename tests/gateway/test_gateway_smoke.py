@@ -1,0 +1,139 @@
+"""End-to-end smoke: every gateway endpoint over a real ephemeral-port server."""
+
+import numpy as np
+
+from repro.fleet import StreamFleet
+from repro.gateway import parse_prometheus_text
+from repro.serving import InferenceServer
+
+from gatewaylib import HISTORY, HORIZON, NODES, constant_predictor, http_call
+
+
+def _build_fleet_gateway(make_gateway):
+    server = InferenceServer(max_batch_size=8, max_wait_ms=1.0, cache_size=64)
+    server.deploy("gen-0", constant_predictor(0.0), version="v0")
+    fleet = StreamFleet(server, history=HISTORY, horizon=HORIZON, monitor_window=32)
+    fleet.add_streams(["s0", "s1"])
+    return server, fleet, make_gateway(server=server, fleet=fleet)
+
+
+def test_full_surface_smoke(make_gateway):
+    server, fleet, gateway = _build_fleet_gateway(make_gateway)
+    url = gateway.url
+    assert gateway.port not in (None, 0)
+
+    # healthz
+    status, body, _ = http_call(url, "GET", "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["deployments"] == 1
+    assert body["default_route"] == "gen-0"
+    assert body["streams"] == 2
+
+    # single predict
+    window = np.zeros((HISTORY, NODES)).tolist()
+    status, body, _ = http_call(url, "POST", "/predict", {"window": window})
+    assert status == 200
+    assert body["horizon"] == HORIZON and body["num_nodes"] == NODES
+    mean = np.asarray(body["mean"], dtype=np.float64)
+    lower = np.asarray(body["lower"], dtype=np.float64)
+    upper = np.asarray(body["upper"], dtype=np.float64)
+    assert mean.shape == (HORIZON, NODES)
+    assert np.all(mean == 0.0)
+    assert np.all(lower <= mean) and np.all(mean <= upper)
+
+    # batched predict with keys + a pinned deployment
+    status, body, _ = http_call(
+        url,
+        "POST",
+        "/predict",
+        {
+            "windows": [window, window],
+            "keys": ["region-a", "region-b"],
+            "deployments": [None, "gen-0"],
+        },
+    )
+    assert status == 200
+    assert body["count"] == 2
+    assert len(body["results"]) == 2
+    for result in body["results"]:
+        assert np.asarray(result["mean"]).shape == (HORIZON, NODES)
+
+    # observe until the streams warm up; the last tick returns forecasts
+    rng = np.random.default_rng(0)
+    for step in range(HISTORY):
+        observations = {
+            "s0": rng.uniform(0.0, 1.0, NODES).tolist(),
+            "s1": rng.uniform(0.0, 1.0, NODES).tolist(),
+        }
+        status, body, _ = http_call(
+            url,
+            "POST",
+            "/observe",
+            {"observations": observations, "return_forecasts": True},
+        )
+        assert status == 200
+        assert set(body["streams"]) == {"s0", "s1"}
+        assert body["streams"]["s0"]["step"] == step
+    assert body["tick"] == HISTORY - 1
+    for entry in body["streams"].values():
+        assert entry["forecast_ready"]
+        assert np.asarray(entry["mean"]).shape == (HORIZON, NODES)
+
+    # single-stream observe form
+    status, body, _ = http_call(
+        url, "POST", "/observe", {"stream": "s0", "observation": [1.0] * NODES}
+    )
+    assert status == 200
+    assert list(body["streams"]) == ["s0"]
+
+    # snapshot: fleet snapshot plus the gateway's own counters
+    status, snap, _ = http_call(url, "GET", "/snapshot")
+    assert status == 200
+    assert snap["num_streams"] == 2
+    assert snap["streams"]["s0"]["step"] == HISTORY + 1
+    assert snap["server"]["requests_served"] > 0
+    assert snap["gateway"]["requests_total"] > 0
+    assert snap["gateway"]["requests"]["/predict"]["200"] == 2
+
+    # admin routes view
+    status, body, _ = http_call(url, "GET", "/admin/routes")
+    assert status == 200
+    assert body["default_route"] == "gen-0"
+    assert body["deployments"] == {"gen-0": "v0"}
+
+    # metrics scrape parses and carries all three layers
+    status, text, headers = http_call(url, "GET", "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    series = parse_prometheus_text(text)
+    requests_total = series["gateway_requests_total"]
+    assert requests_total[(("code", "200"), ("route", "/predict"))] >= 2.0
+    assert series["repro_server_requests_served_total"][()] > 0.0
+    assert series["repro_fleet_streams"][()] == 2.0
+    assert series["repro_stream_step"][(("stream", "s0"),)] == float(HISTORY + 1)
+    assert "repro_stream_coverage" in series
+    assert "gateway_request_latency_seconds" in series
+    assert series["repro_server_default_route"][(("deployment", "gen-0"),)] == 1.0
+
+    # trailing slashes resolve to the same endpoint
+    status, _, _ = http_call(url, "GET", "/healthz/")
+    assert status == 200
+
+
+def test_gateway_without_fleet_serves_ops_surface(make_gateway):
+    gateway = make_gateway()
+    url = gateway.url
+
+    status, body, _ = http_call(url, "GET", "/healthz")
+    assert status == 200 and body["streams"] == 0
+
+    status, snap, _ = http_call(url, "GET", "/snapshot")
+    assert status == 200
+    assert "server" in snap and "gateway" in snap
+
+    status, text, _ = http_call(url, "GET", "/metrics")
+    assert status == 200
+    series = parse_prometheus_text(text)
+    assert "repro_server_running" in series
+    assert "repro_fleet_tick" not in series

@@ -1,0 +1,158 @@
+"""Every ops surface promises strictly JSON-native output — builtin scalars,
+lists and dicts only, coerced at the source so the gateway can ``json.dumps``
+snapshots verbatim.  These tests walk real post-traffic structures and assert
+the promise type-by-type, then round-trip them through strict RFC 8259 JSON."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fleet import StreamFleet
+from repro.serving import InferenceServer
+from repro.serving.pool import Deployment
+from repro.streaming.monitor import RollingStat, StreamingMonitor
+from repro.utils.jsonsafe import json_ready
+
+from gatewaylib import HISTORY, HORIZON, NODES, constant_predictor
+
+_NATIVE = (str, int, float, bool, type(None))
+
+
+def _assert_json_native(value, path="$"):
+    """Recursively assert builtin containers/scalars only — no NumPy leaks."""
+    assert not isinstance(value, np.generic), f"{path}: NumPy scalar {value!r}"
+    if isinstance(value, dict):
+        for key, item in value.items():
+            assert type(key) in (str, int, float, bool), f"{path}: bad key {key!r}"
+            _assert_json_native(item, f"{path}.{key}")
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            _assert_json_native(item, f"{path}[{index}]")
+    else:
+        assert type(value) in _NATIVE, f"{path}: {type(value).__name__} = {value!r}"
+
+
+def _ticked_fleet():
+    """A server + fleet that has really served traffic and scored steps."""
+    server = InferenceServer(max_batch_size=8, max_wait_ms=1.0, cache_size=32)
+    server.deploy("gen-0", constant_predictor(0.0), version="v0")
+    server.start()
+    fleet = StreamFleet(server, history=HISTORY, horizon=HORIZON, monitor_window=16)
+    fleet.add_streams(["s0", "s1"])
+    rng = np.random.default_rng(5)
+    for step in range(HISTORY + 3):
+        row = {
+            "s0": rng.normal(size=NODES),
+            "s1": rng.normal(size=NODES),
+        }
+        if step == HISTORY + 1:
+            row["s0"][0] = np.nan  # exercise the masked-sensor path
+        fleet.tick(row)
+    return server, fleet
+
+
+def test_fleet_snapshot_is_strictly_json_native():
+    server, fleet = _ticked_fleet()
+    try:
+        snap = fleet.snapshot()
+    finally:
+        server.stop()
+    _assert_json_native(snap)
+    # Strict round trip: no NaN token anywhere after boundary coercion.
+    strict = json_ready(snap, nan_to_none=True)
+    text = json.dumps(strict, allow_nan=False)
+    assert json.loads(text) == strict
+
+
+def test_server_and_pool_stats_are_strictly_json_native():
+    server, fleet = _ticked_fleet()
+    try:
+        stats = server.stats
+    finally:
+        server.stop()
+    _assert_json_native(stats)
+    assert stats["running"] is True or stats["running"] is False
+    assert type(stats["requests_served"]) is int
+    assert type(stats["outstanding_requests"]) is int
+    assert type(stats["mean_batch_size"]) is float
+    _assert_json_native(server.pool.stats)
+    for dep_stats in server.pool.stats.values():
+        assert type(dep_stats["requests_served"]) is int
+        assert type(dep_stats["shadow_divergence"]) is float
+    strict = json_ready(stats, nan_to_none=True)  # boundary form: NaN -> null
+    assert json.loads(json.dumps(strict, allow_nan=False)) == strict
+
+
+def test_rolling_stat_mean_stays_builtin_after_eviction():
+    stat = RollingStat(4)
+    for value in np.linspace(0.0, 1.0, 10):  # np.float64 pushes past capacity
+        stat.push(value)
+    # The eviction path subtracts ndarray elements; the read must stay native.
+    assert type(stat.mean) is float
+
+
+def test_monitor_snapshot_native_before_and_after_updates():
+    monitor = StreamingMonitor(window=8)
+    _assert_json_native(monitor.snapshot())  # all-NaN pre-warm-up snapshot
+    shape = (HORIZON, NODES)
+    monitor.update(
+        target=np.zeros(shape),
+        mean=np.zeros(shape),
+        lower=-np.ones(shape),
+        upper=np.ones(shape),
+    )
+    snap = monitor.snapshot()
+    _assert_json_native(snap)
+    assert type(snap["coverage"]) is float
+    assert type(snap["scored_steps"]) is int
+
+
+def test_deployment_stats_native_with_numpy_divergence():
+    deployment = Deployment("d", "v0", constant_predictor(0.0))
+    deployment.record_served(np.int64(3), np.int64(2))
+    deployment.record_shadow(np.int64(1), divergence=np.float64(0.25))
+    stats = deployment.stats
+    _assert_json_native(stats)
+    assert stats["requests_served"] == 3
+    assert stats["shadow_divergence"] == 0.25
+
+
+# --------------------------------------------------------------------------- #
+# json_ready itself
+# --------------------------------------------------------------------------- #
+def test_json_ready_coerces_numpy_scalars_and_arrays():
+    out = json_ready(
+        {
+            "i": np.int64(7),
+            "f": np.float32(1.5),
+            "b": np.bool_(True),
+            "arr": np.arange(4, dtype=np.int32).reshape(2, 2),
+            np.int64(3): "numpy key",
+            "nested": [np.float64(2.5), (np.int8(1), {np.str_("k"): np.uint16(9)})],
+            "set": {1, 2},
+        }
+    )
+    _assert_json_native(out)
+    assert out["i"] == 7 and type(out["i"]) is int
+    assert out["f"] == 1.5 and type(out["f"]) is float
+    assert out["b"] is True
+    assert out["arr"] == [[0, 1], [2, 3]]
+    assert out[3] == "numpy key"
+    assert sorted(out["set"]) == [1, 2]
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), np.float64("-inf")])
+def test_json_ready_nan_to_none(bad):
+    assert json_ready(bad) != None  # noqa: E711 — NaN/Inf survive by default
+    assert json_ready(bad, nan_to_none=True) is None
+    assert json_ready({"x": [bad]}, nan_to_none=True) == {"x": [None]}
+
+
+def test_json_ready_falls_back_to_str_for_exotic_objects():
+    class Exotic:
+        def __repr__(self):
+            return "<exotic>"
+
+    out = json_ready({"obj": Exotic()})
+    assert out == {"obj": "<exotic>"}

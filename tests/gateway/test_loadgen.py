@@ -1,0 +1,153 @@
+"""The closed-loop load generator: report math, response classification,
+seeded reproducibility."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.gateway import LoadGenerator, LoadReport
+from repro.gateway.loadgen import default_payload_fn, default_validate_fn
+
+from gatewaylib import HISTORY, NODES
+
+
+# --------------------------------------------------------------------------- #
+# Report math
+# --------------------------------------------------------------------------- #
+def test_report_math_and_summary():
+    report = LoadReport(
+        requests=4,
+        ok=2,
+        http_errors=1,
+        dropped=1,
+        duration=2.0,
+        latencies=[0.010, 0.020, 0.030, 0.040],
+        status_counts={200: 2, 404: 1},
+    )
+    assert report.throughput == 2.0
+    assert report.p50_ms == pytest.approx(25.0)
+    assert report.p99_ms == pytest.approx(39.7)
+    assert report.latency_ms(1.0) == pytest.approx(40.0)
+    summary = report.summary()
+    assert "dropped: 1" in summary
+    assert "2.0 req/s" in summary
+    assert "200: 2" in summary and "404: 1" in summary
+
+
+def test_empty_report_is_well_defined():
+    report = LoadReport(requests=0, ok=0, http_errors=0, dropped=0, duration=0.0)
+    assert report.throughput == 0.0
+    assert np.isnan(report.p50_ms)
+    assert "(none)" in report.summary()
+
+
+def test_default_validate_fn():
+    good = {"mean": [[1.0, 2.0], [3.0, 4.0]]}
+    assert default_validate_fn(200, good)
+    assert not default_validate_fn(404, good)  # wrong status
+    assert not default_validate_fn(200, "nope")  # not a dict
+    assert not default_validate_fn(200, {})  # missing mean
+    assert not default_validate_fn(200, {"mean": [[1.0, None]]})  # non-finite
+    assert not default_validate_fn(200, {"mean": [1.0, 2.0]})  # not 2-D
+
+
+# --------------------------------------------------------------------------- #
+# Classification against a live gateway
+# --------------------------------------------------------------------------- #
+def test_classification_ok_error_dropped(make_gateway):
+    gateway = make_gateway()
+    predict = default_payload_fn(HISTORY, NODES)
+
+    def payload(rng, index):
+        cycle = index % 3
+        if cycle == 0:
+            return predict(rng, index)  # -> 200, valid
+        if cycle == 1:
+            return "/predict", {}  # -> 400 (http error)
+        return "/nope", {}  # -> 404 (http error)
+
+    loadgen = LoadGenerator(gateway.url, num_workers=2, seed=3, payload_fn=payload)
+    report = loadgen.run(total_requests=30)
+    assert report.requests == 30
+    assert report.ok == 10
+    assert report.http_errors == 20
+    assert report.dropped == 0
+    assert report.status_counts == {200: 10, 400: 10, 404: 10}
+    assert len(report.latencies) == 30
+    assert report.throughput > 0
+
+
+def test_valid_status_with_invalid_body_counts_as_dropped(make_gateway):
+    gateway = make_gateway()
+    loadgen = LoadGenerator(
+        gateway.url,
+        num_workers=1,
+        seed=0,
+        history=HISTORY,
+        nodes=NODES,
+        validate_fn=lambda status, body: False,  # reject every body
+    )
+    report = loadgen.run(total_requests=5)
+    assert report.status_counts == {200: 5}
+    assert report.ok == 0
+    assert report.dropped == 5  # a malformed success is still a failed request
+
+
+def test_transport_failures_count_as_dropped():
+    # Bind-then-close guarantees a port with nothing listening on it.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    loadgen = LoadGenerator(
+        f"http://127.0.0.1:{port}", num_workers=1, seed=0, timeout=0.5
+    )
+    report = loadgen.run(total_requests=3)
+    assert report.requests == 3
+    assert report.dropped == 3
+    assert report.ok == 0 and report.http_errors == 0
+    assert report.status_counts == {}
+
+
+# --------------------------------------------------------------------------- #
+# Reproducibility
+# --------------------------------------------------------------------------- #
+def test_same_seed_same_request_stream(make_gateway):
+    gateway = make_gateway()
+
+    def capture_run(seed):
+        windows = []
+        base = default_payload_fn(HISTORY, NODES)
+
+        def payload(rng, index):
+            path, body = base(rng, index)
+            windows.append(body["window"])
+            return path, body
+
+        LoadGenerator(
+            gateway.url, num_workers=1, seed=seed, payload_fn=payload
+        ).run(total_requests=4)
+        return windows
+
+    first, second = capture_run(seed=42), capture_run(seed=42)
+    assert first == second
+    assert capture_run(seed=43) != first
+
+
+def test_duration_bound_stops_workers(make_gateway):
+    gateway = make_gateway()
+    loadgen = LoadGenerator(
+        gateway.url, num_workers=2, seed=0, history=HISTORY, nodes=NODES
+    )
+    report = loadgen.run(duration=0.3)
+    assert report.requests > 0
+    assert report.dropped == 0
+    assert report.duration < 5.0
+
+
+def test_run_requires_a_bound(make_gateway):
+    gateway = make_gateway()
+    loadgen = LoadGenerator(gateway.url)
+    with pytest.raises(ValueError):
+        loadgen.run()
