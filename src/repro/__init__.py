@@ -25,6 +25,9 @@ A Unified Approach" (ICDE 2023).  It contains:
 * ``repro.api`` — the unified Forecaster facade: declarative
   (backbone x method x config) specs, one fit/predict surface and
   full-state directory checkpoints.
+* ``repro.obs`` — the observability layer: end-to-end request tracing,
+  per-tick phase profiling and structured event logging (off by default,
+  constant-time when off).
 """
 
 __version__ = "1.0.0"
@@ -44,5 +47,6 @@ __all__ = [
     "streaming",
     "fleet",
     "api",
+    "obs",
     "utils",
 ]

@@ -26,6 +26,7 @@ cannot have:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -33,6 +34,9 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.fleet.coordinator import FleetRefitFn, FleetRefitPolicy, RefitCoordinator, RegionTrial
+from repro.obs.profiler import phase as obs_phase
+from repro.obs.profiler import profiling_enabled, record_phase
+from repro.obs.trace import start_trace
 from repro.fleet.spatial import SpatialDriftAggregator
 from repro.fleet.streams import FleetStream
 from repro.serving.router import KeyRouter, Router
@@ -285,7 +289,24 @@ class StreamFleet:
         trial verdicts, stage finished refits, check refit quorums, then
         batch-submit every warm window through the shared server and record
         the calibrated forecasts.
+
+        When tracing is enabled each tick is its own trace: the root
+        ``fleet.tick`` span is active on this thread for the whole tick, so
+        the batched submits hand its context to the server's worker threads
+        and the batch/model spans parent under it.
         """
+        with start_trace(
+            "fleet.tick",
+            attrs={"tick": self._tick, "observed_streams": len(observations)},
+        ):
+            return self._tick_inner(observations, masks)
+
+    def _tick_inner(
+        self,
+        observations: Mapping[str, np.ndarray],
+        masks: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> FleetStepResult:
+        """The tick body; see :meth:`tick` (which wraps it in the tick trace)."""
         unknown = set(observations) - set(self.streams)
         if unknown:
             raise KeyError(f"unknown streams in tick: {sorted(unknown)}")
@@ -340,7 +361,8 @@ class StreamFleet:
         # Phase 2 — spatial aggregation: correlated breaches across
         # neighboring corridors collapse into one incident event.
         if self.spatial is not None:
-            incident = self.spatial.poll(tick_index)
+            with obs_phase("spatial_agg"):
+                incident = self.spatial.poll(tick_index)
             if incident is not None:
                 fleet_events.append(self.event_log.append(incident))
 
@@ -385,32 +407,36 @@ class StreamFleet:
 
         # Phase 6 — predict: one batch submit for every warm stream (plus the
         # candidate copies of trialed regions), coalesced by the micro-batcher.
-        warm_windows: Dict[str, np.ndarray] = {}
-        for name in ingested:
-            window = self.streams[name].core.window()
-            if window is not None:
-                warm_windows[name] = window[0]
-        warm = list(warm_windows)
-        windows = [warm_windows[name] for name in warm]
-        keys: List[Any] = [self.streams[name].key for name in warm]
-        deployments: List[Optional[str]] = [None] * len(warm)
-        trial_slots: List[Tuple[RegionTrial, str]] = []
-        if self.coordinator is not None:
-            for trial in self.coordinator.trials.values():
-                for name in trial.streams:
-                    if name in warm_windows:  # built from ingested streams only
-                        trial_slots.append((trial, name))
-                        windows.append(warm_windows[name])
-                        keys.append(self.streams[name].key)
-                        deployments.append(trial.name)
+        with obs_phase("window_build"):
+            warm_windows: Dict[str, np.ndarray] = {}
+            for name in ingested:
+                window = self.streams[name].core.window()
+                if window is not None:
+                    warm_windows[name] = window[0]
+            warm = list(warm_windows)
+            windows = [warm_windows[name] for name in warm]
+            keys: List[Any] = [self.streams[name].key for name in warm]
+            deployments: List[Optional[str]] = [None] * len(warm)
+            trial_slots: List[Tuple[RegionTrial, str]] = []
+            if self.coordinator is not None:
+                for trial in self.coordinator.trials.values():
+                    for name in trial.streams:
+                        if name in warm_windows:  # built from ingested streams only
+                            trial_slots.append((trial, name))
+                            windows.append(warm_windows[name])
+                            keys.append(self.streams[name].key)
+                            deployments.append(trial.name)
         predictions: Dict[str, Tuple[Any, np.ndarray, np.ndarray]] = {}
         if windows:
+            profiling = profiling_enabled()
+            wait_seconds, waited = 0.0, 0
             futures = self.server.submit_many(windows, keys=keys, deployments=deployments)
             # Every future is consumed under try/except: a deployment whose
             # predict raises (or times out) must degrade to a missing
             # forecast — not abort the tick mid-way, which would strand every
             # stream's step/pending ledger at an un-advanced state.
             for name, future in zip(warm, futures[: len(warm)]):
+                wait_start = time.perf_counter() if profiling else 0.0
                 try:
                     raw = future.result(timeout=self.timeout)
                 except Exception as error:
@@ -426,16 +452,25 @@ class StreamFleet:
                         )
                     )
                     continue
+                finally:
+                    if profiling:
+                        wait_seconds += time.perf_counter() - wait_start
+                        waited += 1
                 predictions[name] = self.streams[name].core.record(raw)
             failed_trials: Dict[str, Tuple[RegionTrial, Exception]] = {}
             for (trial, name), future in zip(trial_slots, futures[len(warm):]):
                 if trial.region in failed_trials:
                     continue
+                wait_start = time.perf_counter() if profiling else 0.0
                 try:
                     candidate_raw = future.result(timeout=self.timeout)
                 except Exception as error:
                     failed_trials[trial.region] = (trial, error)
                     continue
+                finally:
+                    if profiling:
+                        wait_seconds += time.perf_counter() - wait_start
+                        waited += 1
                 _, cand_lower, cand_upper = self.streams[name].core.calibrate(candidate_raw)
                 trial.record(
                     name,
@@ -448,6 +483,10 @@ class StreamFleet:
             # broken-refit analogue of a rejection (undeploy, zero drops).
             for trial, error in failed_trials.values():
                 fleet_events.extend(self._abort_trial(trial, error, tick_index))
+            if profiling and waited:
+                # Time this thread spent blocked on the shared server; the
+                # model_forward it overlaps runs on the worker threads.
+                record_phase("batch_wait", wait_seconds, count=waited)
 
         # Phase 7 — advance and assemble the per-stream results.
         results: Dict[str, StepResult] = {}
@@ -691,7 +730,8 @@ class StreamFleet:
         """Persist the whole fleet; see :func:`repro.fleet.checkpoint.save_fleet`."""
         from repro.fleet.checkpoint import save_fleet
 
-        return save_fleet(self, directory)
+        with obs_phase("checkpoint"):
+            return save_fleet(self, directory)
 
     @classmethod
     def load(

@@ -39,11 +39,13 @@ import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Optional, Tuple
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
 from repro.gateway.metrics import GatewayMetrics, render_prometheus
+from repro.obs.profiler import profiler, profiling_enabled
+from repro.obs.trace import start_span, start_trace, trace_store, tracing_enabled
 from repro.serving.router import KeyRouter, Router, TrafficSplitRouter
 from repro.serving.server import ServerStopped
 from repro.utils.jsonsafe import json_ready
@@ -113,6 +115,10 @@ class Gateway:
     significance:
         Miscoverage level of the Gaussian fallback interval attached to
         ``/predict`` responses when a model carries no native bounds.
+    max_metric_streams:
+        Cardinality cap on per-stream series in ``GET /metrics``; streams
+        beyond it are dropped from the scrape (counted in
+        ``obs_dropped_series_total``), keeping huge fleets scrapeable.
     """
 
     def __init__(
@@ -124,6 +130,7 @@ class Gateway:
         max_body_bytes: int = 16 << 20,
         model_resolver: Optional[Callable[[Any], Any]] = None,
         significance: float = 0.05,
+        max_metric_streams: int = 256,
     ) -> None:
         self.server = server
         self.fleet = fleet
@@ -132,6 +139,7 @@ class Gateway:
         self.max_body_bytes = int(max_body_bytes)
         self.model_resolver = model_resolver
         self.significance = float(significance)
+        self.max_metric_streams = int(max_metric_streams)
         self.metrics = GatewayMetrics()
         self._fleet_lock = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -139,12 +147,14 @@ class Gateway:
         self._shutting_down = False
         self._inflight = 0
         self._inflight_cond = threading.Condition()
-        self._routes: Dict[Tuple[str, str], Callable[[Optional[dict]], Tuple[int, Any]]] = {
+        self._routes: Dict[Tuple[str, str], Callable[..., Tuple[int, Any]]] = {
             ("POST", "/predict"): self._handle_predict,
             ("POST", "/observe"): self._handle_observe,
             ("GET", "/snapshot"): self._handle_snapshot,
             ("GET", "/metrics"): self._handle_metrics,
             ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/trace"): self._handle_trace,
+            ("GET", "/profile"): self._handle_profile,
             ("POST", "/admin/deploy"): self._handle_deploy,
             ("POST", "/admin/promote"): self._handle_promote,
             ("POST", "/admin/rollback"): self._handle_rollback,
@@ -247,7 +257,7 @@ class Gateway:
             self._inflight -= 1
             self._inflight_cond.notify_all()
 
-    def _resolve(self, method: str, path: str) -> Callable[[Optional[dict]], Tuple[int, Any]]:
+    def _resolve(self, method: str, path: str) -> Callable[..., Tuple[int, Any]]:
         handler = self._routes.get((method, path))
         if handler is not None:
             return handler
@@ -287,7 +297,9 @@ class Gateway:
             "num_nodes": int(mean.shape[1]),
         }
 
-    def _handle_predict(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_predict(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         if not isinstance(body, dict):
             raise _bad_request("predict expects a JSON object body")
         batched = "windows" in body
@@ -319,7 +331,11 @@ class Gateway:
             )
         else:
             raise _bad_request("predict body needs a 'window' (or 'windows') field")
-        futures = self._submit(windows, keys, deployments)
+        # The submit span is active on this handler thread while the server
+        # routes and enqueues, so the captured context handed to the batch
+        # worker parents the batch/model spans under it.
+        with start_span("router.submit", attrs={"windows": len(windows)}):
+            futures = self._submit(windows, keys, deployments)
         results = []
         for future in futures:
             try:
@@ -335,7 +351,9 @@ class Gateway:
             return 200, {"count": len(payloads), "results": payloads}
         return 200, payloads[0]
 
-    def _handle_observe(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_observe(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         fleet = self.fleet
         if fleet is None:
             raise ApiError(404, "no fleet is attached to this gateway")
@@ -403,7 +421,9 @@ class Gateway:
     # ------------------------------------------------------------------ #
     # Ops plane
     # ------------------------------------------------------------------ #
-    def _handle_snapshot(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_snapshot(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         if self.fleet is not None:
             snapshot = self.fleet.snapshot()
         else:
@@ -411,10 +431,14 @@ class Gateway:
         snapshot["gateway"] = self.metrics.snapshot()
         return 200, json_ready(snapshot, nan_to_none=True)
 
-    def _handle_metrics(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_metrics(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         return 200, render_prometheus(self)
 
-    def _handle_healthz(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_healthz(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         pool = self.server.pool
         return 200, {
             "status": "ok",
@@ -423,10 +447,46 @@ class Gateway:
             "streams": len(self.fleet.streams) if self.fleet is not None else 0,
         }
 
+    def _handle_trace(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
+        """``GET /trace?limit=N`` — the N most recent traces as span trees."""
+        limit = 20
+        if query and "limit" in query:
+            try:
+                limit = int(query["limit"])
+            except ValueError:
+                raise _bad_request("limit must be an integer")
+        store = trace_store()
+        return 200, json_ready(
+            {
+                "enabled": tracing_enabled(),
+                "store": store.stats,
+                "traces": store.traces(limit=limit),
+            },
+            nan_to_none=True,
+        )
+
+    def _handle_profile(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
+        """``GET /profile`` — the per-phase tick cost breakdown."""
+        prof = profiler()
+        return 200, json_ready(
+            {
+                "enabled": profiling_enabled(),
+                "phases": prof.snapshot(),
+                "top_phases": prof.top_phases(),
+            },
+            nan_to_none=True,
+        )
+
     # ------------------------------------------------------------------ #
     # Admin plane
     # ------------------------------------------------------------------ #
-    def _handle_deploy(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_deploy(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         if not isinstance(body, dict) or "name" not in body:
             raise _bad_request("deploy body needs a 'name' field")
         name = str(body["name"])
@@ -459,14 +519,18 @@ class Gateway:
             "default_route": self.server.pool.default_name,
         }
 
-    def _handle_promote(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_promote(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         if not isinstance(body, dict) or "name" not in body:
             raise _bad_request("promote body needs a 'name' field")
         name = self._require_deployment(body["name"])
         previous = self.server.promote(name)
         return 200, {"default_route": name, "previous": previous}
 
-    def _handle_rollback(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_rollback(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         name = body.get("name") if isinstance(body, dict) else None
         try:
             new_default = self.server.rollback(str(name) if name is not None else None)
@@ -497,7 +561,9 @@ class Gateway:
             info["shadows"] = list(shadows)
         return info
 
-    def _handle_routes_get(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_routes_get(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         pool = self.server.pool
         deployments = {
             name: pool.get(name).version
@@ -510,7 +576,9 @@ class Gateway:
             "router": self._router_info(),
         }
 
-    def _handle_routes_post(self, body: Optional[dict]) -> Tuple[int, Any]:
+    def _handle_routes_post(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
         if not isinstance(body, dict) or not ("routes" in body or "weights" in body):
             raise _bad_request("routes body needs a 'routes' map or a 'weights' map")
         if "routes" in body and "weights" in body:
@@ -568,6 +636,10 @@ class _Handler(BaseHTTPRequestHandler):
     gateway: Gateway = None  # type: ignore[assignment]
     protocol_version = "HTTP/1.1"
     server_version = "repro-gateway"
+    # Responses go out as two small writes (header flush, then body).  On a
+    # long-lived keep-alive connection Nagle would hold the second write for
+    # the peer's delayed ACK (~40 ms per request once quick-ACK wears off).
+    disable_nagle_algorithm = True
 
     def log_message(self, fmt: str, *args: Any) -> None:  # pragma: no cover
         pass  # metrics carry the signal; stderr noise helps nobody
@@ -591,8 +663,10 @@ class _Handler(BaseHTTPRequestHandler):
                 f"{self.gateway.max_body_bytes}-byte limit"
             )
         if length == 0:
+            self._body_read = True
             return None
         raw = self.rfile.read(length)
+        self._body_read = True
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -600,6 +674,34 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(body, dict):
             raise _bad_request("request body must be a JSON object")
         return body
+
+    def _discard_body(self) -> None:
+        """Drain a request body the handler never read.
+
+        A dispatch that errors before :meth:`_read_body` (unknown route,
+        shutdown 503, oversized payload) would otherwise leave the body
+        bytes in the socket; on a keep-alive connection the next request
+        would be parsed starting at those bytes.  Bodies we refused to read
+        (oversized, or an unparsable Content-Length) close the connection
+        instead of draining unbounded data.
+        """
+        if self._body_read:
+            return
+        self._body_read = True
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header) if length_header is not None else 0
+        except ValueError:
+            length = -1
+        if length == 0:
+            return
+        if 0 < length <= self.gateway.max_body_bytes:
+            try:
+                self.rfile.read(length)
+                return
+            except OSError:
+                pass
+        self.close_connection = True
 
     def _send(
         self,
@@ -616,6 +718,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(int(status))
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            trace_id = getattr(self, "_trace_id", None)
+            if trace_id is not None:
+                self.send_header("X-Trace-Id", trace_id)
             if retry_after is not None:
                 self.send_header("Retry-After", str(int(retry_after)))
             self.end_headers()
@@ -627,17 +732,40 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         gateway = self.gateway
-        path = urlparse(self.path).path.rstrip("/") or "/"
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        query = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
         started = time.perf_counter()
-        status = 500
+        self._status = 500
+        self._body_read = method != "POST"
         gateway._enter_request()
+        # Each request is the root of its own trace; the span stays active on
+        # this handler thread for the whole dispatch, so spans opened by the
+        # route handlers (and contexts captured into queued requests) parent
+        # under it.  Sampled requests echo the ID back as ``X-Trace-Id``.
+        span = start_trace(
+            "gateway." + (path.strip("/").replace("/", ".") or "root"),
+            attrs={"method": method, "path": path},
+        )
+        self._trace_id = span.trace_id
+        try:
+            with span:
+                self._dispatch_inner(method, path, query, span)
+        finally:
+            route = path if (method, path) in gateway._routes else "<unmatched>"
+            gateway.metrics.record(route, self._status, time.perf_counter() - started)
+            gateway._exit_request()
+
+    def _dispatch_inner(self, method: str, path: str, query: Dict[str, str], span: Any) -> None:
+        gateway = self.gateway
+        status = 500
         try:
             try:
                 handler = gateway._resolve(method, path)
                 if gateway._shutting_down:
                     raise _unavailable("gateway is shutting down")
                 body = self._read_body() if method == "POST" else None
-                status, payload = handler(body)
+                status, payload = handler(body, query)
                 if path == "/metrics":
                     self._send(
                         status,
@@ -667,6 +795,6 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 )
         finally:
-            route = path if (method, path) in gateway._routes else "<unmatched>"
-            gateway.metrics.record(route, status, time.perf_counter() - started)
-            gateway._exit_request()
+            self._discard_body()
+            self._status = status
+            span.set_attr("status", status)

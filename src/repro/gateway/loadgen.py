@@ -1,10 +1,17 @@
-"""Closed-loop HTTP load generator for the gateway (urllib + ThreadPool).
+"""Closed-loop HTTP load generator for the gateway (http.client + ThreadPool).
 
 ``N`` workers each run a *closed loop* against the gateway: issue one
 request, block for the response, validate it, record the latency, repeat —
 the concurrent-fetch idiom, offered load therefore tracks service capacity
 instead of overrunning it.  Workers are seeded independently, so a run is
 reproducible request-for-request.
+
+Each worker holds one persistent ``http.client.HTTPConnection`` for its
+whole loop (the gateway speaks HTTP/1.1 with ``Content-Length``, so
+keep-alive reuse is safe): latency measures request service, not TCP
+handshakes, and the generator stops racing the OS for ephemeral ports at
+high request rates.  A transport failure closes the connection and the next
+request transparently reconnects.
 
 The same generator drives both the tier-1 smoke/storm tests (small request
 counts, correctness assertions: zero dropped, zero malformed) and
@@ -20,13 +27,14 @@ gates).  A run is summarized by a :class:`LoadReport`:
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import time
-import urllib.error
-import urllib.request
 from dataclasses import dataclass, field
 from multiprocessing.pool import ThreadPool
 from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
 
 import numpy as np
 
@@ -60,6 +68,20 @@ def default_validate_fn(status: int, body: Any) -> bool:
     except (TypeError, ValueError):
         return False
     return array.ndim == 2 and array.size > 0 and bool(np.isfinite(array).all())
+
+
+class _NoDelayConnection(http.client.HTTPConnection):
+    """Keep-alive connection with Nagle disabled on every (re)connect.
+
+    Small request frames on a reused connection must not wait behind Nagle
+    for the server's delayed ACKs (~40 ms per request once the kernel's
+    initial quick-ACK phase wears off); connections stay lazy, so a dead
+    server still surfaces as a per-request transport failure.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
 
 @dataclass
@@ -146,6 +168,14 @@ class LoadGenerator:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.base_url = str(base_url).rstrip("/")
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// gateways are supported, got {split.scheme!r}")
+        if split.hostname is None:
+            raise ValueError(f"base_url {base_url!r} has no host")
+        self._host = split.hostname
+        self._port = split.port
+        self._base_path = split.path.rstrip("/")
         self.num_workers = int(num_workers)
         self.seed = int(seed)
         self.payload_fn = (
@@ -155,31 +185,36 @@ class LoadGenerator:
         self.timeout = float(timeout)
 
     # ------------------------------------------------------------------ #
+    def _connect(self) -> http.client.HTTPConnection:
+        """One worker's persistent keep-alive connection (Nagle off)."""
+        return _NoDelayConnection(self._host, self._port, timeout=self.timeout)
+
     def _one_request(
-        self, rng: np.random.Generator, index: int
+        self, conn: http.client.HTTPConnection, rng: np.random.Generator, index: int
     ) -> Tuple[Optional[int], bool, float]:
-        """Returns ``(status or None, valid, latency_seconds)``."""
+        """Returns ``(status or None, valid, latency_seconds)``.
+
+        The request rides ``conn``, the calling worker's keep-alive
+        connection (``request`` transparently reconnects a closed one); any
+        transport failure closes it so the next request starts clean.
+        """
         path, body = self.payload_fn(rng, index)
         data = json.dumps(body).encode("utf-8")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
         started = time.perf_counter()
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                status = int(response.status)
-                raw = response.read()
-        except urllib.error.HTTPError as error:
-            # A well-formed non-2xx response — read it so validation can see it.
-            status = int(error.code)
-            try:
-                raw = error.read()
-            except OSError:
-                raw = b""
-        except (urllib.error.URLError, OSError):
+            conn.request(
+                "POST",
+                self._base_path + path,
+                body=data,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            status = int(response.status)
+            # Drain the body fully even on errors: an unread response poisons
+            # connection reuse (http.client would refuse the next request).
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            conn.close()
             return None, False, time.perf_counter() - started
         latency = time.perf_counter() - started
         try:
@@ -196,22 +231,26 @@ class LoadGenerator:
         latencies: List[float] = []
         ok = http_errors = dropped = 0
         index = 0
-        while (request_budget is None or index < request_budget) and (
-            deadline is None or time.monotonic() < deadline
-        ):
-            status, valid, latency = self._one_request(rng, index)
-            index += 1
-            latencies.append(latency)
-            if status is None:
-                dropped += 1
-                continue
-            statuses[status] = statuses.get(status, 0) + 1
-            if status == 200 and valid:
-                ok += 1
-            elif status != 200:
-                http_errors += 1
-            else:
-                dropped += 1  # 200 but malformed/invalid body
+        conn = self._connect()
+        try:
+            while (request_budget is None or index < request_budget) and (
+                deadline is None or time.monotonic() < deadline
+            ):
+                status, valid, latency = self._one_request(conn, rng, index)
+                index += 1
+                latencies.append(latency)
+                if status is None:
+                    dropped += 1
+                    continue
+                statuses[status] = statuses.get(status, 0) + 1
+                if status == 200 and valid:
+                    ok += 1
+                elif status != 200:
+                    http_errors += 1
+                else:
+                    dropped += 1  # 200 but malformed/invalid body
+        finally:
+            conn.close()
         return {
             "requests": index,
             "ok": ok,

@@ -27,7 +27,17 @@ import time
 from collections import Counter, deque
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.events import events_emitted
+from repro.obs.profiler import profiler, profiling_enabled
+from repro.obs.trace import trace_store, tracing_enabled
+
 __all__ = ["GatewayMetrics", "render_prometheus", "parse_prometheus_text"]
+
+#: Default cap on the number of streams exported as per-stream series; a
+#: 10k-stream fleet must not turn one scrape into a cardinality bomb.
+#: Overridable per gateway via a ``max_metric_streams`` attribute; series
+#: dropped by the cap are counted in ``obs_dropped_series_total``.
+MAX_METRIC_STREAMS = 256
 
 #: Scalar ``InferenceServer.stats`` keys that are monotonic counters; the
 #: remaining numeric scalars render as gauges.
@@ -143,6 +153,11 @@ def _escape_label(value: Any) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline only (quotes stay literal).
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(value: Any) -> str:
     value = float(value)
     if math.isnan(value):
@@ -173,7 +188,7 @@ class _Exposition:
     def header(self, name: str, kind: str, help_text: str) -> None:
         if name not in self._seen:
             self._seen.add(name)
-            self.lines.append(f"# HELP {name} {help_text}")
+            self.lines.append(f"# HELP {name} {_escape_help(help_text)}")
             self.lines.append(f"# TYPE {name} {kind}")
 
     def add(
@@ -280,7 +295,16 @@ def _render_server(exp: _Exposition, stats: Dict[str, Any]) -> None:
             exp.add(metric, kind, f"Per-deployment {key}.", value, labels)
 
 
-def _render_fleet(exp: _Exposition, snapshot: Dict[str, Any]) -> None:
+def _render_fleet(
+    exp: _Exposition, snapshot: Dict[str, Any], max_streams: int = MAX_METRIC_STREAMS
+) -> int:
+    """Render fleet series; returns the number of capped per-stream series.
+
+    At most ``max_streams`` streams (sorted by name, so the exported set is
+    stable scrape-to-scrape) get per-stream series; fleet-level aggregates
+    always render in full.
+    """
+    dropped_series = 0
     exp.add("repro_fleet_tick", "counter", "Fleet ticks completed.", snapshot["tick"])
     exp.add(
         "repro_fleet_streams",
@@ -297,7 +321,14 @@ def _render_fleet(exp: _Exposition, snapshot: Dict[str, Any]) -> None:
             count,
             {"kind": kind},
         )
-    for name, stream in sorted(snapshot.get("streams", {}).items()):
+    for index, (name, stream) in enumerate(sorted(snapshot.get("streams", {}).items())):
+        if index >= max_streams:
+            # Count exactly the series this stream would have emitted.
+            stream_metrics = stream.get("metrics", {})
+            dropped_series += 2  # step + warmed_up
+            dropped_series += sum(1 for key in _STREAM_METRIC_KEYS if key in stream_metrics)
+            dropped_series += len({event["kind"] for event in stream.get("events", ())})
+            continue
         labels = {"stream": name}
         exp.add(
             "repro_stream_step",
@@ -354,22 +385,96 @@ def _render_fleet(exp: _Exposition, snapshot: Dict[str, Any]) -> None:
             "Spatial incidents fired by the corridor-graph aggregator.",
             spatial["incidents"],
         )
+    return dropped_series
+
+
+def _render_obs(exp: _Exposition, dropped_series: int) -> None:
+    """The observability layer's own series: phase timings + trace/store state."""
+    exp.add(
+        "obs_tracing_enabled",
+        "gauge",
+        "1 while request tracing is enabled.",
+        1 if tracing_enabled() else 0,
+    )
+    exp.add(
+        "obs_profiling_enabled",
+        "gauge",
+        "1 while phase profiling is enabled.",
+        1 if profiling_enabled() else 0,
+    )
+    exp.add(
+        "obs_dropped_series_total",
+        "counter",
+        "Per-stream series dropped from this scrape by the cardinality cap.",
+        dropped_series,
+    )
+    exp.add(
+        "obs_events_emitted_total",
+        "counter",
+        "Structured log events emitted since process start.",
+        events_emitted(),
+    )
+    store_stats = trace_store().stats
+    exp.add(
+        "obs_trace_spans_stored",
+        "gauge",
+        "Finished spans currently retained in the trace ring.",
+        store_stats["spans_stored"],
+    )
+    exp.add(
+        "obs_trace_spans_added_total",
+        "counter",
+        "Finished spans accepted by the trace ring since process start.",
+        store_stats["spans_added"],
+    )
+    exp.add(
+        "obs_trace_spans_evicted_total",
+        "counter",
+        "Spans evicted from the trace ring by its capacity bound.",
+        store_stats["spans_evicted"],
+    )
+    for phase, entry in profiler().snapshot().items():
+        exp.header(
+            "repro_phase_seconds",
+            "summary",
+            "Per-phase tick/serving timings (rolling-window quantiles).",
+        )
+        for q, key in (("0.5", "p50_ms"), ("0.99", "p99_ms")):
+            exp.lines.append(
+                _sample(
+                    "repro_phase_seconds",
+                    {"phase": phase, "quantile": q},
+                    entry[key] / 1e3,
+                )
+            )
+        exp.lines.append(
+            _sample("repro_phase_seconds_count", {"phase": phase}, entry["count"])
+        )
+        exp.lines.append(
+            _sample("repro_phase_seconds_sum", {"phase": phase}, entry["total_s"])
+        )
 
 
 def render_prometheus(gateway: Any) -> str:
     """Render one scrape of the gateway (and the stack behind it) as text."""
     exp = _Exposition()
     _render_gateway(exp, gateway)
+    dropped_series = 0
     fleet = getattr(gateway, "fleet", None)
     if fleet is not None:
         snapshot = fleet.snapshot()
-        _render_fleet(exp, snapshot)
+        dropped_series = _render_fleet(
+            exp,
+            snapshot,
+            max_streams=getattr(gateway, "max_metric_streams", MAX_METRIC_STREAMS),
+        )
         server_stats = snapshot.get("server")
     else:
         server_stats = None
     if server_stats is None:
         server_stats = gateway.server.stats
     _render_server(exp, server_stats)
+    _render_obs(exp, dropped_series)
     return exp.text()
 
 

@@ -34,6 +34,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.events import log_event
+
 #: A chaos action: called as ``action(fleet, tick)``; returning a fleet
 #: replaces the one being driven (how kill-and-restore swaps processes).
 ChaosAction = Callable[[Any, int], Optional[Any]]
@@ -84,6 +86,7 @@ def kill_and_restore(
     documents: behaviour lives in code, state in the checkpoint.
     """
     directory = Path(directory)
+    log_event("chaos.kill_and_restore", directory=str(directory))
     fleet.save(directory)
     old_server = getattr(fleet, "server", None)
     if old_server is not None and hasattr(old_server, "stop"):
@@ -161,6 +164,12 @@ class PredictFault:
                 self.fired += 1
         if not due:
             return
+        log_event(
+            "chaos.predict_fault",
+            deployment=deployment_name,
+            mode="hang" if self.hang else type(self.error).__name__,
+            call=self.calls,
+        )
         if self.hang:
             self._release.wait()
             return
@@ -193,6 +202,12 @@ class FlakyRefit:
             self.calls += 1
             dies = self.calls == self.fail_on
         if dies:
+            log_event(
+                "chaos.flaky_refit",
+                region=region,
+                call=self.calls,
+                error=type(self.error).__name__,
+            )
             raise self.error
         return self.refit_fn(region, recents)
 
@@ -214,6 +229,7 @@ def thrash_cache(
     "thrash drops nothing" is checked by construction.
     """
     rng = np.random.default_rng(seed)
+    log_event("chaos.thrash_cache", num_windows=int(num_windows), seed=int(seed))
     windows = rng.uniform(0.0, 500.0, size=(int(num_windows), history, num_nodes))
     futures = server.submit_many(list(windows))
     return [future.result(timeout=timeout) for future in futures]

@@ -17,6 +17,8 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.trace import SpanContext
+
 
 @dataclass
 class InferenceRequest:
@@ -26,6 +28,9 @@ class InferenceRequest:
     pool's default route, resolved when the batch snapshots its models);
     ``shadows`` name deployments that see a mirrored copy without affecting
     the response.  Single-model servers leave both at their defaults.
+    ``trace`` is the submitter's captured span context — the cross-thread
+    handoff that lets the batch worker parent its spans under the HTTP
+    handler (or fleet tick) that enqueued the request.
     """
 
     window: np.ndarray  # (history, num_nodes)
@@ -34,6 +39,7 @@ class InferenceRequest:
     key: Optional[Any] = None
     primary: Optional[str] = None
     shadows: Tuple[str, ...] = ()
+    trace: Optional[SpanContext] = None
 
 
 class _Shutdown:
@@ -65,6 +71,7 @@ class MicroBatcher:
         key: Optional[Any] = None,
         primary: Optional[str] = None,
         shadows: Tuple[str, ...] = (),
+        trace: Optional[SpanContext] = None,
     ) -> Future:
         """Enqueue one window; returns a future resolved by the dispatcher."""
         if self._closed.is_set():
@@ -74,9 +81,15 @@ class MicroBatcher:
             key=key,
             primary=primary,
             shadows=tuple(shadows),
+            trace=trace,
         )
         self._queue.put(request)
         return request.future
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting in the queue (approximate, lock-free)."""
+        return self._queue.qsize()
 
     def close(self) -> None:
         """Wake up the dispatcher and refuse further submissions."""

@@ -35,6 +35,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.inference import PredictionResult
+from repro.obs.events import log_event
+from repro.obs.profiler import profiling_enabled, record_phase
+from repro.obs.trace import current_context, record_span
 from repro.serving.batching import InferenceRequest, MicroBatcher
 from repro.serving.cache import SharedPredictionCache, prediction_cache_key
 from repro.serving.pool import Deployment, ModelPool, PredictFn, resolve_predict_fn
@@ -216,11 +219,15 @@ class InferenceServer:
         bare predict function, or a checkpoint directory path.  The first
         deployment becomes the default route.
         """
-        return self.pool.deploy(name, model, version=version)
+        deployment = self.pool.deploy(name, model, version=version)
+        log_event("serving.deploy", deployment=name, version=deployment.version)
+        return deployment
 
     def undeploy(self, name: str) -> Deployment:
         """Retire a non-default deployment and free its cache namespace."""
-        return self.pool.undeploy(name)
+        deployment = self.pool.undeploy(name)
+        log_event("serving.undeploy", deployment=name, version=deployment.version)
+        return deployment
 
     def promote(self, name: str) -> Optional[str]:
         """Atomically make ``name`` the default route; returns the previous name.
@@ -231,6 +238,7 @@ class InferenceServer:
         previous = self.pool.promote(name)
         with self._lock:
             self._promotions += 1
+        log_event("serving.promote", deployment=name, previous=previous)
         return previous
 
     def rollback(self, name: Optional[str] = None) -> str:
@@ -239,6 +247,7 @@ class InferenceServer:
         new_default = self.pool.rollback(name)
         with self._lock:
             self._rollbacks += 1
+        log_event("serving.rollback", deployment=new_default, requested=name)
         return new_default
 
     @classmethod
@@ -283,6 +292,12 @@ class InferenceServer:
         self.pool.deploy(name, predict_fn, version=str(version))
         with self._lock:
             self._models_swapped += 1
+        log_event(
+            "serving.swap_model",
+            deployment=name,
+            version=str(version),
+            previous=previous.version if previous is not None else None,
+        )
         return previous.version if previous is not None else None
 
     # ------------------------------------------------------------------ #
@@ -323,8 +338,14 @@ class InferenceServer:
             decision = RouteDecision(primary=deployment)
         else:
             decision = self.router.route(window, key=key)
+        # Cross-thread trace handoff: capture this thread's active span so
+        # the batch worker can parent its batch/model spans under it.
         future = self.batcher.submit(
-            window, key=key, primary=decision.primary, shadows=decision.shadows
+            window,
+            key=key,
+            primary=decision.primary,
+            shadows=decision.shadows,
+            trace=current_context(),
         )
         with self._futures_lock:
             self._outstanding.add(future)
@@ -414,6 +435,10 @@ class InferenceServer:
                     else 0.0
                 ),
             }
+            stats["queue_depth"] = self.batcher.depth
+            stats["batch_fill_ratio"] = (
+                stats["mean_batch_size"] / self.batcher.max_batch_size
+            )
         if self.cache is not None:
             for name, value in self.cache.stats.items():
                 stats[f"cache_{name}"] = value
@@ -469,6 +494,16 @@ class InferenceServer:
 
     def _process_batch(self, batch: List[InferenceRequest]) -> None:
         try:
+            if profiling_enabled():
+                # Queue wait inside the micro-batcher (submit -> dispatch);
+                # "batch_wait" proper — the tick thread's blocked time — is
+                # recorded by the fleet, which observes the whole round trip.
+                now = time.perf_counter()
+                record_phase(
+                    "queue_wait",
+                    sum(now - request.enqueued_at for request in batch),
+                    count=len(batch),
+                )
             snapshot = self._snapshot_routes(batch)
             # Group requests by the deployment object they resolved to: two
             # routes (e.g. None and an explicit name) may share a deployment.
@@ -499,12 +534,18 @@ class InferenceServer:
         self,
         deployment: Deployment,
         requests: List[InferenceRequest],
+        shadow: bool = False,
     ) -> Tuple[Dict[str, PredictionResult], int]:
         """Resolve each request's window through cache + one stacked model pass.
 
         Returns ``(key -> result, model_windows)`` covering every request;
         duplicates within the group share one key and one forward slot.
+        Primary groups record ``batch.execute`` / ``model.forward`` spans
+        under each traced request's captured context (shadow mirrors stay
+        invisible to traces, as they are to clients).
         """
+        group_start = time.perf_counter()
+        model_interval: Optional[Tuple[float, float]] = None
         keys = [
             prediction_cache_key(request.window, deployment.namespace)
             for request in requests
@@ -528,8 +569,17 @@ class InferenceServer:
                 # Outside the predict lock: a *blocking* injector must stall
                 # only this group's worker, not every deployment's forwards.
                 injector(deployment.name, stacked)
+            forward_start = time.perf_counter()
             with self._predict_lock:
                 result = deployment.predict_fn(stacked)
+            forward_end = time.perf_counter()
+            model_interval = (forward_start, forward_end)
+            if not shadow:
+                record_phase(
+                    "model_forward",
+                    forward_end - forward_start,
+                    count=len(pending_windows),
+                )
             for offset, key in enumerate(pending_keys):
                 # copy(): a plain slice would be a view pinning the whole
                 # batch result in memory for the lifetime of the entry.
@@ -540,7 +590,51 @@ class InferenceServer:
         per_request = {
             id(request): resolved[key] for request, key in zip(requests, keys)
         }
+        if not shadow:
+            self._record_batch_spans(
+                deployment, requests, group_start, len(pending_windows), model_interval
+            )
         return per_request, len(pending_windows)
+
+    def _record_batch_spans(
+        self,
+        deployment: Deployment,
+        requests: List[InferenceRequest],
+        group_start: float,
+        model_windows: int,
+        model_interval: Optional[Tuple[float, float]],
+    ) -> None:
+        """Attribute this group's batch/model intervals to the traced requests.
+
+        Each traced request gets its own ``batch.execute`` span (parented
+        under the span that submitted it, via the captured context) so every
+        trace tree is complete on its own; the shared ``model.forward``
+        interval nests under each.  Recorded retroactively from the worker
+        thread — the explicit half of the cross-thread handoff.
+        """
+        end = time.perf_counter()
+        for request in requests:
+            if request.trace is None:
+                continue
+            batch_ctx = record_span(
+                "batch.execute",
+                request.trace,
+                group_start,
+                end,
+                attrs={
+                    "deployment": deployment.name,
+                    "batch_size": len(requests),
+                    "model_windows": model_windows,
+                },
+            )
+            if batch_ctx is not None and model_interval is not None:
+                record_span(
+                    "model.forward",
+                    batch_ctx,
+                    model_interval[0],
+                    model_interval[1],
+                    attrs={"version": deployment.version},
+                )
 
     def _run_primary(
         self,
@@ -586,7 +680,9 @@ class InferenceServer:
             if not requests:
                 continue
             try:
-                per_request, model_windows = self._predict_group(deployment, requests)
+                per_request, model_windows = self._predict_group(
+                    deployment, requests, shadow=True
+                )
                 divergences = [
                     float(np.mean(np.abs(
                         per_request[id(r)].mean - primary_results[id(r)].mean

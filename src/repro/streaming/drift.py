@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.events import log_event
 from repro.streaming.monitor import RollingStat
 
 #: Event kinds that signal genuine stream drift (as opposed to lifecycle
@@ -323,6 +324,16 @@ class EventLog:
 
     def append(self, event: DriftEvent) -> DriftEvent:
         self.events.append(event)
+        # Every detector firing and lifecycle notification funnels through
+        # here, so one hook gives the structured log the full drift story
+        # (restores rebuild via the constructor and do not re-emit).
+        log_event(
+            f"stream.{event.kind}",
+            message=event.message,
+            step=event.step,
+            value=event.value,
+            threshold=event.threshold,
+        )
         return event
 
     def of_kind(self, kind: str) -> List[DriftEvent]:

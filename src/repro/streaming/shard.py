@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.inference import PredictionResult
+from repro.obs.profiler import phase as obs_phase
 from repro.streaming.aci import ACIConfig, AdaptiveConformalCalibrator
 from repro.streaming.drift import (
     CoverageBreachDetector,
@@ -182,7 +183,7 @@ class StreamCore:
         """
         targets, means, lowers, uppers, steps = [], [], [], [], []
         masked = np.where(valid, obs, np.nan)
-        with self._lock:
+        with obs_phase("aci_update"), self._lock:
             for entry in self._pending:
                 h = s - entry["step"] - 1
                 if not 0 <= h < self.horizon:
@@ -219,9 +220,10 @@ class StreamCore:
         resolved.lower = np.stack(lowers)
         resolved.upper = np.stack(uppers)
         resolved.steps = np.asarray(steps)
-        resolved.covered = self.monitor.update(
-            target, mean, resolved.lower, resolved.upper
-        )
+        with obs_phase("monitor_update"):
+            resolved.covered = self.monitor.update(
+                target, mean, resolved.lower, resolved.upper
+            )
         finite = np.isfinite(target)
         if finite.any():
             resolved.abs_error = float(np.mean(np.abs(target[finite] - mean[finite])))
@@ -233,10 +235,11 @@ class StreamCore:
         """Route one step's signals through the detectors; log any firings."""
         signals = {"coverage": covered, "abs_error": abs_error}
         events: List[DriftEvent] = []
-        for detector in self.detectors:
-            event = detector.update(s, signals.get(getattr(detector, "signal", "coverage")))
-            if event is not None:
-                events.append(self.event_log.append(event))
+        with obs_phase("drift_detect"):
+            for detector in self.detectors:
+                event = detector.update(s, signals.get(getattr(detector, "signal", "coverage")))
+                if event is not None:
+                    events.append(self.event_log.append(event))
         return events
 
     def append(self, obs: np.ndarray, valid: np.ndarray) -> np.ndarray:
@@ -302,7 +305,7 @@ class StreamCore:
         will need later: the raw mean, the local scale, the emitted bounds
         and — for native-bound methods — the method's own asymmetric bounds.
         """
-        with self._lock:
+        with obs_phase("unscale"), self._lock:
             lower_b, upper_b = self.calibrator.intervals(raw)
             calibrated = self.calibrator.fold(raw, lower_b, upper_b)
             scale = self.calibrator._scale(raw)

@@ -27,7 +27,7 @@ class TestExamples:
                 "custom_dataset.py", "serving_demo.py",
                 "streaming_dashboard.py", "canary_promotion.py",
                 "fleet_demo.py", "chaos_demo.py",
-                "gateway_demo.py"}.issubset(scripts)
+                "gateway_demo.py", "tracing_demo.py"}.issubset(scripts)
 
     def test_quickstart_fast(self):
         result = _run("quickstart.py", "--fast", "--epochs", "2")
@@ -92,6 +92,17 @@ class TestExamples:
         assert "rolled back" in result.stdout
         assert "dropped: 0" in result.stdout
         assert "gateway_requests_total" in result.stdout
+        assert "gateway stopped cleanly" in result.stdout
+
+    def test_tracing_demo_fast(self):
+        result = _run("tracing_demo.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "X-Trace-Id: t00000001" in result.stdout
+        assert "gateway.predict" in result.stdout
+        assert "model.forward" in result.stdout
+        assert "Phase profile" in result.stdout
+        assert "top phases by total cost:" in result.stdout
+        assert "obs_tracing_enabled" in result.stdout
         assert "gateway stopped cleanly" in result.stdout
 
     def test_streaming_dashboard_fast(self):

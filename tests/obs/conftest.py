@@ -1,0 +1,18 @@
+"""Fixtures for the observability suite.
+
+The obs layer is process-global by design (one trace store, one profiler,
+one event ring), so every test starts and ends from the disabled,
+cleared state — a leaked-enabled obs layer would silently perturb every
+other suite's timing-sensitive tests.
+"""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    obs.reset()
+    yield
+    obs.reset()

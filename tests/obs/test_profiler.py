@@ -1,0 +1,110 @@
+"""Phase profiler: aggregation, quantile rings, orderings, no-op discipline."""
+
+import math
+
+from repro.obs.profiler import (
+    PHASES,
+    PhaseProfiler,
+    configure_profiling,
+    phase,
+    profiler,
+    profiling_enabled,
+    record_phase,
+)
+
+
+class TestDisabled:
+    def test_phase_and_record_are_noops_while_disabled(self):
+        assert not profiling_enabled()
+        with phase("model_forward"):
+            pass
+        record_phase("model_forward", 1.0)
+        assert profiler().snapshot() == {}
+
+    def test_shared_noop_timer_is_one_instance(self):
+        assert phase("a") is phase("b")
+
+
+class TestAggregation:
+    def test_record_accumulates_exact_count_and_total(self):
+        prof = PhaseProfiler()
+        prof.record("model_forward", 0.25)
+        prof.record("model_forward", 0.75)
+        entry = prof.snapshot()["model_forward"]
+        assert entry["count"] == 2
+        assert entry["total_s"] == 1.0
+        assert entry["mean_ms"] == 500.0
+
+    def test_aggregate_record_pushes_one_mean_sample(self):
+        """count>1 folds a whole batch in exactly: total is the batch's sum,
+
+        but the quantile ring gets the mean occurrence — one aggregate must
+        not flood p50/p99 with identical points.
+        """
+        prof = PhaseProfiler()
+        prof.record("batch_wait", 0.8, count=8)
+        entry = prof.snapshot()["batch_wait"]
+        assert entry["count"] == 8
+        assert entry["total_s"] == 0.8
+        assert entry["p50_ms"] == 100.0  # the mean occurrence, 0.1 s
+        assert entry["p99_ms"] == 100.0  # ...and it is the only ring sample
+
+    def test_quantiles_come_from_a_bounded_ring(self):
+        prof = PhaseProfiler(sample_window=4)
+        for seconds in (1.0, 1.0, 1.0, 0.001, 0.001, 0.002, 0.004):
+            prof.record("unscale", seconds)
+        entry = prof.snapshot()["unscale"]
+        # The three 1.0 s outliers fell off the 4-deep ring.
+        assert entry["p99_ms"] <= 4.0
+        assert entry["count"] == 7  # ...but exact totals never forget
+        assert math.isclose(entry["total_s"], 3.008)
+
+    def test_snapshot_orders_known_phases_first_then_custom_sorted(self):
+        prof = PhaseProfiler()
+        prof.record("zeta_custom", 0.1)
+        prof.record("checkpoint", 0.1)
+        prof.record("window_build", 0.1)
+        prof.record("alpha_custom", 0.1)
+        assert list(prof.snapshot()) == [
+            "window_build",
+            "checkpoint",
+            "alpha_custom",
+            "zeta_custom",
+        ]
+
+    def test_canonical_phase_list_is_stable(self):
+        assert PHASES[0] == "window_build"
+        assert "model_forward" in PHASES and "checkpoint" in PHASES
+
+    def test_reset_clears_everything(self):
+        prof = PhaseProfiler()
+        prof.record("drift_detect", 0.5)
+        prof.reset()
+        assert prof.snapshot() == {}
+
+
+class TestModuleSurface:
+    def test_phase_context_manager_times_into_the_global_profiler(self):
+        configure_profiling(enabled=True, sample_window=128)
+        with phase("spatial_agg"):
+            pass
+        with phase("spatial_agg"):
+            pass
+        entry = profiler().snapshot()["spatial_agg"]
+        assert entry["count"] == 2
+        assert entry["total_s"] >= 0.0
+
+    def test_summary_and_top_phases_rank_by_total_cost(self):
+        configure_profiling(enabled=True, sample_window=128)
+        record_phase("model_forward", 3.0)
+        record_phase("window_build", 1.0)
+        record_phase("aci_update", 2.0)
+        assert profiler().top_phases(2) == ["model_forward", "aci_update"]
+        summary = profiler().summary()
+        lines = summary.splitlines()
+        assert lines[0].startswith("phase")
+        assert lines[1].startswith("model_forward")  # costliest row first
+        assert "50.0%" in lines[1]
+
+    def test_empty_summary_has_a_placeholder(self):
+        assert PhaseProfiler().summary() == "(no phases recorded)"
