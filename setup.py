@@ -1,10 +1,26 @@
-"""Setuptools shim.
+"""Packaging for the DeepSTUQ reproduction.
 
-The project is configured through ``pyproject.toml``; this file exists so the
-package can be installed in environments without the ``wheel`` package (where
-PEP 517 editable installs are unavailable) via ``python setup.py develop``.
+Pure setuptools (no ``pyproject.toml``): the package has no third-party
+build requirements beyond setuptools itself, and keeping the configuration
+here lets ``python setup.py develop`` work in environments without the
+``wheel`` package (where PEP 517 editable installs are unavailable).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-deepstuq",
+    version="0.9.0",
+    description=(
+        "Reproduction of DeepSTUQ (ICDE 2023): uncertainty-quantified "
+        "traffic forecasting with a concurrent streaming/serving stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-analyze=repro.analysis.cli:main",
+        ]
+    },
+)

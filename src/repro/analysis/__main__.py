@@ -1,0 +1,7 @@
+"""``python -m repro.analysis src/`` — run the analyzer like CI does."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

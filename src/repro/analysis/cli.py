@@ -1,0 +1,137 @@
+"""Command line front end: ``python -m repro.analysis`` / ``repro-analyze``.
+
+Exit codes: 0 — clean (or only baselined/suppressed findings); 1 — new
+findings, stale baseline entries, or parse errors; 2 — bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import rules as _rules  # noqa: F401 - registers the catalog
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.framework import AnalysisReport, analyze_paths, registered_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Project-specific static analysis for the repro stack.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report everything",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule families to run (default: all)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file to accept every current finding",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def _render_text(report: AnalysisReport) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    for entry in report.stale_baseline:
+        lines.append(
+            "stale baseline entry (no longer matches anything): "
+            f"{entry['rule']} {entry['path']} {entry['symbol']}"
+        )
+    summary = (
+        f"{report.files_scanned} files scanned: "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if report.stale_baseline:
+        summary += f", {len(report.stale_baseline)} stale baseline entr(y/ies)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, cls in sorted(registered_rules().items()):
+            print(f"{name}: {cls.description}")
+        return 0
+
+    root = Path(args.root)
+    rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
+
+    baseline = None
+    baseline_path = None
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (ValueError, KeyError, json.JSONDecodeError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        elif args.baseline:
+            print(f"error: baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+
+    try:
+        report = analyze_paths(
+            args.paths,
+            root=root,
+            rules=rules,
+            baseline=None if args.write_baseline else baseline,
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or root / DEFAULT_BASELINE_NAME
+        Baseline.from_findings(report.findings).save(target)
+        print(f"wrote {len(report.findings)} entr(y/ies) to {target}")
+        return 0
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(_render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""``boundary`` — the HTTP/metrics boundary must emit only legal bytes.
+
+* ``boundary/json-nan`` — every ``json.dumps`` in the gateway package
+  must pass ``allow_nan=False``.  Python's default serializes ``NaN`` /
+  ``Infinity``, which are *not* JSON: a NaN smuggled into a payload
+  would produce bytes most clients reject.  Numeric payload paths
+  convert through ``json_ready(..., nan_to_none=True)`` first, so
+  strictness costs nothing and turns silent corruption into a loud
+  local ``ValueError``.
+* ``boundary/metric-name`` — Prometheus series and label names built in
+  ``gateway/metrics.py`` must match the exposition-format grammar
+  (``[a-zA-Z_:][a-zA-Z0-9_:]*`` for metric names,
+  ``[a-zA-Z_][a-zA-Z0-9_]*`` for label names).  Literal fragments of
+  f-strings are validated; interpolated fields are trusted (the
+  runtime guard in ``_Exposition`` covers those).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, register
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_METRIC_FRAGMENT_RE = re.compile(r"^[a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: exposition-builder calls whose leading string argument is a metric name.
+_NAME_SINK_ATTRS = {"add", "header", "sample"}
+_NAME_SINK_FUNCS = {"_sample"}
+
+
+def _gateway_file(module: ModuleContext) -> bool:
+    return "repro/gateway/" in module.relpath
+
+
+def _metrics_file(module: ModuleContext) -> bool:
+    return module.relpath.endswith("gateway/metrics.py")
+
+
+def _enclosing_names(tree: ast.Module) -> dict:
+    """Map each node to its enclosing function/class qualname for symbols."""
+    qualnames = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}.{child.name}" if prefix else child.name
+                visit(child, name)
+            else:
+                qualnames[child] = prefix
+                visit(child, prefix)
+
+    visit(tree, "")
+    return qualnames
+
+
+def _bad_name_literal(arg: ast.expr) -> Optional[str]:
+    """Return the offending text when ``arg`` can't be a legal metric name."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        if not _METRIC_NAME_RE.match(arg.value):
+            return arg.value
+        return None
+    if isinstance(arg, ast.JoinedStr):
+        for index, piece in enumerate(arg.values):
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                fragment = piece.value
+                ok = (
+                    _METRIC_NAME_RE.match(fragment)
+                    if index == 0
+                    else _METRIC_FRAGMENT_RE.match(fragment)
+                )
+                if not ok:
+                    return fragment
+    return None
+
+
+@register
+class BoundaryRule(Rule):
+    name = "boundary"
+    description = (
+        "gateway json.dumps must pass allow_nan=False; Prometheus "
+        "series/label names must match the exposition grammar"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if not _gateway_file(module):
+            return []
+        findings: List[Finding] = []
+        qualnames = None
+        metrics = _metrics_file(module)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+
+            # json.dumps(...) without allow_nan=False
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "dumps"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "json"
+            ):
+                strict = any(
+                    kw.arg == "allow_nan"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                    for kw in node.keywords
+                )
+                if not strict:
+                    if qualnames is None:
+                        qualnames = _enclosing_names(module.tree)
+                    where = qualnames.get(node, "") or "<module>"
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=node.lineno,
+                            rule="boundary/json-nan",
+                            symbol=where,
+                            message=(
+                                f"{where}: json.dumps without allow_nan=False — "
+                                "NaN/Infinity would serialize as invalid JSON"
+                            ),
+                        )
+                    )
+
+            if not metrics:
+                continue
+
+            # metric-name sinks: exp.add(name,...), exp.header(name,...),
+            # exp.sample(family, name, ...), _sample(name, ...)
+            name_args: List[ast.expr] = []
+            if isinstance(func, ast.Attribute) and func.attr in _NAME_SINK_ATTRS:
+                count = 2 if func.attr == "sample" else 1
+                name_args = node.args[:count]
+            elif isinstance(func, ast.Name) and func.id in _NAME_SINK_FUNCS:
+                name_args = node.args[:1]
+            for arg in name_args:
+                bad = _bad_name_literal(arg)
+                if bad is not None:
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=arg.lineno,
+                            rule="boundary/metric-name",
+                            symbol=bad,
+                            message=(
+                                f"metric name {bad!r} violates the Prometheus "
+                                "exposition grammar [a-zA-Z_:][a-zA-Z0-9_:]*"
+                            ),
+                        )
+                    )
+            # label-name keys in dict literals passed to the sinks
+            if name_args:
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if not isinstance(arg, ast.Dict):
+                        continue
+                    for key in arg.keys:
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and not _LABEL_NAME_RE.match(key.value)
+                        ):
+                            findings.append(
+                                Finding(
+                                    path=module.relpath,
+                                    line=key.lineno,
+                                    rule="boundary/metric-name",
+                                    symbol=key.value,
+                                    message=(
+                                        f"label name {key.value!r} violates the "
+                                        "Prometheus label grammar "
+                                        "[a-zA-Z_][a-zA-Z0-9_]*"
+                                    ),
+                                )
+                            )
+        return findings

@@ -1,0 +1,190 @@
+"""``checkpoint`` — every ``__init__`` attribute must survive a round trip.
+
+The static version of the PR-6 detector-state bug: a class that
+checkpoints via ``get_state``/``set_state`` silently loses any
+``self._x`` it forgets to serialize, and the loss only shows up when a
+restore lands mid-episode.  This rule makes the contract structural:
+
+for every class defining both ``__init__`` and ``get_state``, each
+underscore attribute assigned in ``__init__`` must either
+
+* be *read* somewhere in ``get_state`` (transitively through
+  ``self.helper()`` calls), or
+* be self-evidently runtime-only — constructed from a thread/lock/queue
+  factory (``threading.Lock()``, ``ThreadPoolExecutor(...)``, ...), or
+* be listed in a class-level ``_CHECKPOINT_EXEMPT`` tuple/set of names
+  (the explicit opt-out, greppable at the class), or carry an inline
+  ``# repro: noqa[checkpoint]`` pragma.
+
+Finding: ``checkpoint/missing-attr`` at the ``__init__`` assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, register
+
+#: Constructors whose products are runtime machinery, never checkpoint state.
+_RUNTIME_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "Thread",
+    "Timer",
+    "local",
+    "Queue",
+    "SimpleQueue",
+    "LifoQueue",
+    "PriorityQueue",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+}
+
+_EXEMPT_LIST_NAME = "_CHECKPOINT_EXEMPT"
+
+
+def _callable_name(value: ast.expr) -> Optional[str]:
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _init_private_attrs(init: ast.FunctionDef) -> Dict[str, Tuple[int, Optional[str]]]:
+    """``attr -> (line, factory)`` for ``self._x = ...`` in ``__init__``."""
+    attrs: Dict[str, Tuple[int, Optional[str]]] = {}
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr.startswith("_")
+                and not target.attr.startswith("__")
+            ):
+                attrs.setdefault(target.attr, (node.lineno, _callable_name(value)))
+    return attrs
+
+
+def _exempt_names(cls: ast.ClassDef) -> Set[str]:
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == _EXEMPT_LIST_NAME:
+                value = node.value
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    elements = value.elts
+                elif isinstance(value, ast.Call) and value.args:
+                    inner = value.args[0]  # frozenset({...}) / frozenset((...))
+                    elements = getattr(inner, "elts", [])
+                else:
+                    elements = []
+                return {
+                    el.value
+                    for el in elements
+                    if isinstance(el, ast.Constant) and isinstance(el.value, str)
+                }
+    return set()
+
+
+def _attrs_touched(
+    start: ast.FunctionDef, methods: Dict[str, ast.FunctionDef]
+) -> Set[str]:
+    """``self.<attr>`` names reachable from ``start`` via ``self.x()`` calls."""
+    touched: Set[str] = set()
+    queue = [start.name]
+    visited: Set[str] = set()
+    while queue:
+        name = queue.pop()
+        if name in visited or name not in methods:
+            continue
+        visited.add(name)
+        for node in ast.walk(methods[name]):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                touched.add(node.attr)
+                if node.attr in methods:
+                    queue.append(node.attr)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == "self"
+                and isinstance(node.args[1], ast.Constant)
+            ):
+                touched.add(str(node.args[1].value))
+    return touched
+
+
+@register
+class CheckpointRule(Rule):
+    name = "checkpoint"
+    description = (
+        "__init__ attributes of get_state/set_state classes must be "
+        "serialized or explicitly exempted"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for cls in module.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {
+                node.name: node
+                for node in cls.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            init = methods.get("__init__")
+            get_state = methods.get("get_state")
+            if init is None or get_state is None:
+                continue
+            exempt = _exempt_names(cls)
+            saved = _attrs_touched(get_state, methods)
+            for attr, (line, factory) in sorted(_init_private_attrs(init).items()):
+                if attr in saved or attr in exempt:
+                    continue
+                if factory in _RUNTIME_FACTORIES:
+                    continue
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=line,
+                        rule="checkpoint/missing-attr",
+                        symbol=f"{cls.name}.{attr}",
+                        message=(
+                            f"{cls.name}.{attr} is assigned in __init__ but never "
+                            "read in get_state: a save/load round trip silently "
+                            f"drops it (add it to get_state, or to "
+                            f"{_EXEMPT_LIST_NAME} if runtime-only)"
+                        ),
+                    )
+                )
+        return findings

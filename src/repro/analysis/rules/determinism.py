@@ -1,0 +1,164 @@
+"""``determinism`` — seeded randomness and clock discipline.
+
+Two findings:
+
+* ``determinism/unseeded-random`` — any call through the *global* RNGs
+  (``np.random.<sampler>``, stdlib ``random.<fn>``) anywhere in the
+  tree.  Global-RNG draws are untracked shared state: they can't be
+  seeded per-component, so every numeric path in this repo threads an
+  explicit ``np.random.default_rng(seed)`` generator instead.  Seeding
+  calls themselves (``seed(n)`` with arguments) and generator/state
+  constructors (``default_rng``, ``Generator``, ``SeedSequence``,
+  ``Random(n)``...) are allowed.
+* ``determinism/wall-clock`` — wall-clock reads (``time.time()``,
+  ``datetime.now()``...) inside the numeric packages (``tensor``, ``nn``,
+  ``streaming``, ``fleet``) where they would leak nondeterminism into
+  results.  ``time.monotonic``/``perf_counter`` stay legal: they time
+  *durations* (deadlines, profiling), never data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, register
+
+#: np.random attributes that construct explicit, seedable state.
+_NP_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "get_state",
+    "set_state",
+}
+
+#: stdlib random attributes that construct explicit state or move state around.
+_RANDOM_ALLOWED = {"Random", "SystemRandom", "getstate", "setstate"}
+
+#: wall-clock reads banned on numeric paths: module alias -> attribute names.
+_WALL_CLOCK = {
+    "time": {"time", "time_ns", "localtime", "ctime", "gmtime", "strftime"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+#: packages whose outputs must be a pure function of (inputs, seed).
+_NUMERIC_PARTS = ("repro/tensor/", "repro/nn/", "repro/streaming/", "repro/fleet/")
+
+
+def _import_aliases(tree: ast.Module) -> Tuple[Set[str], Set[str], Set[str]]:
+    """Names bound to the numpy module, the stdlib random module, and any
+    callables imported *from* a random module (``from numpy.random import x``)."""
+    numpy_names: Set[str] = set()
+    random_names: Set[str] = set()
+    from_random: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    numpy_names.add(bound)
+                elif alias.name == "random":
+                    random_names.add(bound)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in ("random", "numpy.random"):
+                allowed = _RANDOM_ALLOWED if node.module == "random" else _NP_ALLOWED
+                for alias in node.names:
+                    if alias.name not in allowed:
+                        from_random.add(alias.asname or alias.name)
+    return numpy_names, random_names, from_random
+
+
+def _is_seeding_call(attr: str, call: ast.Call) -> bool:
+    return attr == "seed" and bool(call.args or call.keywords)
+
+
+@register
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "global-RNG draws anywhere; wall-clock reads on numeric paths "
+        "(tensor/nn/streaming/fleet)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        numpy_names, random_names, from_random = _import_aliases(module.tree)
+        numeric_path = any(part in module.relpath for part in _NUMERIC_PARTS)
+        findings: List[Finding] = []
+
+        def flag(rule: str, symbol: str, message: str, line: int) -> None:
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=line,
+                    rule=rule,
+                    symbol=symbol,
+                    message=message,
+                )
+            )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                target = func.value
+                # np.random.<fn>(...)
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "random"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in numpy_names
+                ):
+                    if func.attr not in _NP_ALLOWED and not _is_seeding_call(
+                        func.attr, node
+                    ):
+                        flag(
+                            "determinism/unseeded-random",
+                            f"np.random.{func.attr}",
+                            f"global-RNG call np.random.{func.attr}(); thread a "
+                            "seeded np.random.default_rng() generator instead",
+                            node.lineno,
+                        )
+                # random.<fn>(...)
+                elif isinstance(target, ast.Name) and target.id in random_names:
+                    if func.attr not in _RANDOM_ALLOWED and not _is_seeding_call(
+                        func.attr, node
+                    ):
+                        flag(
+                            "determinism/unseeded-random",
+                            f"random.{func.attr}",
+                            f"global-RNG call random.{func.attr}(); use a seeded "
+                            "random.Random(seed) instance instead",
+                            node.lineno,
+                        )
+                # wall-clock reads on numeric paths
+                elif numeric_path and isinstance(target, ast.Name):
+                    banned = _WALL_CLOCK.get(target.id)
+                    if banned and func.attr in banned:
+                        flag(
+                            "determinism/wall-clock",
+                            f"{target.id}.{func.attr}",
+                            f"wall-clock read {target.id}.{func.attr}() on a "
+                            "numeric path; results must be a pure function of "
+                            "(inputs, seed)",
+                            node.lineno,
+                        )
+            elif isinstance(func, ast.Name) and func.id in from_random:
+                if not _is_seeding_call(func.id, node):
+                    flag(
+                        "determinism/unseeded-random",
+                        func.id,
+                        f"global-RNG call {func.id}() imported from a random "
+                        "module; thread explicit generator state instead",
+                        node.lineno,
+                    )
+        return findings

@@ -1,0 +1,350 @@
+"""``lock-order`` — static lock-acquisition graph + blocking-under-lock.
+
+Builds a per-module graph of lock-acquisition order from ``with`` blocks:
+
+* lock *sites* are ``self.<attr> = threading.Lock()/RLock()`` assignments
+  (keyed ``ClassName.attr``) and module-level ``NAME = threading.Lock()``
+  constants (keyed ``NAME``);
+* an edge ``A -> B`` means some code path acquires ``B`` while holding
+  ``A`` — either directly (nested ``with``) or through an intra-class
+  ``self.method()`` call whose transitive closure acquires ``B``.
+
+Findings:
+
+* ``lock-order/cycle`` — the module graph has a cycle: two code paths
+  acquire the same locks in opposite orders, a potential deadlock.
+* ``lock-order/self-deadlock`` — a non-reentrant ``Lock`` is re-acquired
+  while already held (guaranteed deadlock on one thread).
+* ``lock-order/blocking-call`` — an *untimed* blocking call runs while a
+  lock is held: ``x.result()`` without a timeout, zero-argument
+  ``x.join()`` / ``x.wait()``, or any ``sleep(...)``.  Calls with a
+  timeout are bounded and allowed.
+
+The graph is intentionally per-module and name-based: cross-object
+orders (``server._lock`` vs ``pool._lock``) are out of static reach and
+covered at runtime by :mod:`repro.analysis.lockwatch`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, register
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+_REENTRANT_FACTORIES = {"RLock"}
+
+
+def _lock_factory(value: ast.expr) -> Optional[str]:
+    """Return ``"Lock"``/``"RLock"`` when ``value`` constructs one, else None."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        if isinstance(func.value, ast.Name) and func.value.id == "threading":
+            return func.attr
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        return func.id
+    return None
+
+
+def _untimed_blocking(call: ast.Call) -> Optional[str]:
+    """Describe ``call`` when it blocks without a bound, else None."""
+    func = call.func
+    keywords = {kw.arg for kw in call.keywords}
+    if isinstance(func, ast.Attribute):
+        if func.attr == "result" and not call.args and "timeout" not in keywords:
+            return "Future.result() without a timeout"
+        if func.attr in ("join", "wait") and not call.args and not call.keywords:
+            # Zero-argument join()/wait() never returns early; str.join and
+            # concurrent.futures.wait always take arguments, so they don't
+            # match this shape.
+            return f"untimed .{func.attr}()"
+        if func.attr == "sleep" and isinstance(func.value, ast.Name):
+            if func.value.id == "time":
+                return "time.sleep() while holding a lock"
+    elif isinstance(func, ast.Name) and func.id == "sleep":
+        return "sleep() while holding a lock"
+    return None
+
+
+class _FunctionFacts:
+    """What one function/method does with locks."""
+
+    def __init__(self) -> None:
+        self.acquires: Set[str] = set()
+        self.edges: List[Tuple[str, str, int]] = []  # held -> acquired @ line
+        self.reacquired: List[Tuple[str, int]] = []  # non-reentrant re-entry
+        self.blocking: List[Tuple[Tuple[str, ...], str, int]] = []  # held, desc, line
+        self.blocking_anywhere: List[Tuple[str, int]] = []  # desc, line (no lock held)
+        self.self_calls: List[Tuple[str, Tuple[str, ...], int]] = []  # name, held, line
+
+
+class _FunctionScanner:
+    """Statement walker tracking the set of held locks through ``with`` nesting."""
+
+    def __init__(
+        self,
+        lock_names: Dict[str, str],  # lock key -> factory kind
+        class_name: Optional[str],
+        module_locks: Dict[str, str],
+    ) -> None:
+        self.lock_names = lock_names
+        self.class_name = class_name
+        self.module_locks = module_locks
+        self.facts = _FunctionFacts()
+
+    def _resolve_lock(self, expr: ast.expr) -> Optional[str]:
+        if (
+            self.class_name is not None
+            and isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            key = f"{self.class_name}.{expr.attr}"
+            if key in self.lock_names:
+                return key
+        if isinstance(expr, ast.Name) and expr.id in self.module_locks:
+            return expr.id
+        return None
+
+    def scan(self, node: ast.AST, held: Tuple[str, ...] = ()) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Nested function bodies run later, on an unknown lock context.
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in node.items:
+                self.scan(item.context_expr, held)
+                lock = self._resolve_lock(item.context_expr)
+                if lock is None:
+                    continue
+                line = item.context_expr.lineno
+                if lock in held + tuple(acquired):
+                    if self.lock_names.get(lock) not in _REENTRANT_FACTORIES:
+                        self.facts.reacquired.append((lock, line))
+                    continue
+                for holder in held + tuple(acquired):
+                    self.facts.edges.append((holder, lock, line))
+                self.facts.acquires.add(lock)
+                acquired.append(lock)
+            inner = held + tuple(acquired)
+            for child in node.body:
+                self.scan(child, inner)
+            return
+        if isinstance(node, ast.Call):
+            desc = _untimed_blocking(node)
+            if desc is not None:
+                if held:
+                    self.facts.blocking.append((held, desc, node.lineno))
+                else:
+                    self.facts.blocking_anywhere.append((desc, node.lineno))
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                self.facts.self_calls.append((func.attr, held, node.lineno))
+        for child in ast.iter_child_nodes(node):
+            self.scan(child, held)
+
+
+def _collect_class_locks(cls: ast.ClassDef) -> Dict[str, str]:
+    """``ClassName.attr -> factory`` for every lock attribute assignment."""
+    locks: Dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        kind = _lock_factory(value)
+        if kind is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks[f"{cls.name}.{target.attr}"] = kind
+    return locks
+
+
+def _module_locks(tree: ast.Module) -> Dict[str, str]:
+    locks: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            kind = _lock_factory(node.value)
+            if kind is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    locks[target.id] = kind
+    return locks
+
+
+def _closure(
+    methods: Dict[str, _FunctionFacts], getter
+) -> Dict[str, set]:
+    """Fixpoint of per-method sets propagated through ``self.x()`` calls."""
+    result = {name: set(getter(facts)) for name, facts in methods.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, facts in methods.items():
+            for callee, _, _ in facts.self_calls:
+                extra = result.get(callee, set()) - result[name]
+                if extra:
+                    result[name] |= extra
+                    changed = True
+    return result
+
+
+def _find_cycles(edges: Dict[str, Set[str]]) -> List[Tuple[str, ...]]:
+    """Simple cycles in the lock graph, canonicalized and deduplicated."""
+    cycles: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
+        for nxt in sorted(edges.get(node, ())):
+            if nxt == start:
+                cycle = tuple(path)
+                pivot = cycle.index(min(cycle))
+                cycles.add(cycle[pivot:] + cycle[:pivot])
+            elif nxt not in visited and len(path) < 16:
+                visited.add(nxt)
+                dfs(start, nxt, path + [nxt], visited)
+
+    for start in sorted(edges):
+        dfs(start, start, [start], {start})
+    return sorted(cycles)
+
+
+@register
+class LockOrderRule(Rule):
+    name = "lock-order"
+    description = (
+        "lock-acquisition cycles, non-reentrant re-entry, and untimed "
+        "blocking calls while a lock is held"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        module_locks = _module_locks(module.tree)
+        graph_edges: Dict[str, Set[str]] = {}
+        edge_sites: Dict[Tuple[str, str], int] = {}
+        findings: List[Finding] = []
+
+        def add_edge(holder: str, acquired: str, line: int) -> None:
+            graph_edges.setdefault(holder, set()).add(acquired)
+            edge_sites.setdefault((holder, acquired), line)
+
+        scopes: List[Tuple[Optional[str], Sequence[ast.stmt]]] = [(None, module.tree.body)]
+        scopes += [
+            (node.name, node.body)
+            for node in module.tree.body
+            if isinstance(node, ast.ClassDef)
+        ]
+
+        for class_name, body in scopes:
+            lock_names = dict(module_locks)
+            if class_name is not None:
+                class_node = next(
+                    node
+                    for node in module.tree.body
+                    if isinstance(node, ast.ClassDef) and node.name == class_name
+                )
+                lock_names.update(_collect_class_locks(class_node))
+            methods: Dict[str, _FunctionFacts] = {}
+            for node in body:
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                scanner = _FunctionScanner(lock_names, class_name, module_locks)
+                for stmt in node.body:
+                    scanner.scan(stmt)
+                methods[node.name] = scanner.facts
+
+            acquires = _closure(methods, lambda f: f.acquires)
+            blocking = _closure(
+                methods,
+                lambda f: {desc for _, desc, _ in f.blocking}
+                | {desc for desc, _ in f.blocking_anywhere},
+            )
+
+            for method_name, facts in methods.items():
+                qual = f"{class_name}.{method_name}" if class_name else method_name
+                for holder, acquired, line in facts.edges:
+                    add_edge(holder, acquired, line)
+                for lock, line in facts.reacquired:
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=line,
+                            rule="lock-order/self-deadlock",
+                            symbol=f"{qual}:{lock}",
+                            message=(
+                                f"{qual} re-acquires non-reentrant lock {lock} "
+                                "while already holding it"
+                            ),
+                        )
+                    )
+                for held, desc, line in facts.blocking:
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=line,
+                            rule="lock-order/blocking-call",
+                            symbol=f"{qual}:{desc}",
+                            message=f"{qual}: {desc} while holding {', '.join(held)}",
+                        )
+                    )
+                for callee, held, line in facts.self_calls:
+                    if not held or callee not in methods:
+                        continue
+                    for lock in acquires.get(callee, ()):
+                        if lock not in held:
+                            add_edge(held[-1], lock, line)
+                        elif lock_names.get(lock) not in _REENTRANT_FACTORIES:
+                            findings.append(
+                                Finding(
+                                    path=module.relpath,
+                                    line=line,
+                                    rule="lock-order/self-deadlock",
+                                    symbol=f"{qual}->{callee}:{lock}",
+                                    message=(
+                                        f"{qual} calls self.{callee}() which "
+                                        f"re-acquires non-reentrant lock {lock} "
+                                        "already held here"
+                                    ),
+                                )
+                            )
+                    for desc in blocking.get(callee, ()):
+                        findings.append(
+                            Finding(
+                                path=module.relpath,
+                                line=line,
+                                rule="lock-order/blocking-call",
+                                symbol=f"{qual}->{callee}:{desc}",
+                                message=(
+                                    f"{qual} calls self.{callee}() ({desc}) "
+                                    f"while holding {', '.join(held)}"
+                                ),
+                            )
+                        )
+
+        for cycle in _find_cycles(graph_edges):
+            loop = " -> ".join(cycle + (cycle[0],))
+            first_edge = (cycle[0], cycle[1 % len(cycle)]) if len(cycle) > 1 else None
+            line = edge_sites.get(first_edge, 1) if first_edge else 1
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=line,
+                    rule="lock-order/cycle",
+                    symbol=loop,
+                    message=f"lock-acquisition cycle (potential deadlock): {loop}",
+                )
+            )
+        return findings

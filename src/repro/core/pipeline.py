@@ -77,6 +77,11 @@ class DeepSTUQPipeline(WindowedForecaster):
     >>> result.mean, result.std                              # doctest: +SKIP
     """
 
+    #: ``_rng`` only seeds weight initialization; the checkpointed weights
+    #: already encode its effect (predict/calibrate derive per-call
+    #: generators from the configured seed instead).
+    _CHECKPOINT_EXEMPT = ("_rng",)
+
     def __init__(
         self,
         num_nodes: int,

@@ -246,6 +246,12 @@ class RefitCoordinator:
     everything touching the server happens on the tick thread.
     """
 
+    #: Runtime-only state the checkpoint legitimately drops: in-flight refit
+    #: threads cannot cross a process boundary, and their undrained results
+    #: belong to the killed process.  (``trials`` are rebuilt by the fleet
+    #: runner, which re-deploys candidates itself.)
+    _CHECKPOINT_EXEMPT = ("_inflight", "_finished")
+
     def __init__(
         self,
         refit_fn: FleetRefitFn,
@@ -391,12 +397,22 @@ class RefitCoordinator:
             }
 
     def get_state(self) -> Dict[str, Any]:
-        """JSON-ready counters (checkpointed with the fleet)."""
+        """JSON-ready counters + quorum evidence (checkpointed with the fleet).
+
+        ``drifted`` carries the partial quorum: without it a fleet restored
+        mid-episode forgets which streams already fired, and a region that
+        was one drift short of quorum at the kill never refits after the
+        restore (the fleet-level analogue of the PR-6 detector-state bug).
+        """
         with self._lock:
             return {
                 "refit_count": self._refit_count,
                 "triggers": self._triggers,
                 "last_trigger": {k: int(v) for k, v in self._last_trigger.items()},
+                "drifted": {
+                    region: {stream: int(step) for stream, step in streams.items()}
+                    for region, streams in self._drifted.items()
+                },
             }
 
     def set_state(self, state: Dict[str, Any]) -> "RefitCoordinator":
@@ -405,6 +421,10 @@ class RefitCoordinator:
             self._triggers = int(state.get("triggers", 0))
             self._last_trigger = {
                 str(k): int(v) for k, v in (state.get("last_trigger") or {}).items()
+            }
+            self._drifted = {
+                str(region): {str(s): int(at) for s, at in (streams or {}).items()}
+                for region, streams in (state.get("drifted") or {}).items()
             }
         return self
 

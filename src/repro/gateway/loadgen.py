@@ -199,7 +199,9 @@ class LoadGenerator:
         transport failure closes it so the next request starts clean.
         """
         path, body = self.payload_fn(rng, index)
-        data = json.dumps(body).encode("utf-8")
+        # Strict JSON on the wire: a NaN from a custom payload_fn must fail
+        # loudly here, not serialize as invalid JSON the gateway rejects.
+        data = json.dumps(body, allow_nan=False).encode("utf-8")
         started = time.perf_counter()
         try:
             conn.request(

@@ -22,6 +22,7 @@ text is guaranteed machine-parseable, not just eyeballable.
 from __future__ import annotations
 
 import math
+import re
 import threading
 import time
 from collections import Counter, deque
@@ -178,18 +179,49 @@ def _sample(name: str, labels: Optional[Dict[str, Any]], value: Any) -> str:
     return f"{name} {_format_value(value)}"
 
 
+#: Exposition-format grammar for metric names (label names drop the colon).
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
 class _Exposition:
-    """Accumulates families in order, emitting HELP/TYPE once per family."""
+    """Accumulates samples *grouped by family*, in first-seen family order.
+
+    The text format requires every line of one metric family to form a
+    single uninterrupted group, so per-deployment / per-stream loops that
+    naturally produce ``family_a{x=1} family_b{x=1} family_a{x=2}`` would
+    emit an illegal scrape if lines were appended in call order.  Samples
+    are therefore buffered per family and concatenated at :meth:`text`
+    time, with HELP/TYPE emitted exactly once ahead of each group.
+    ``_count``/``_sum`` summary series register under their base family
+    via the explicit ``family`` argument of :meth:`sample`.
+    """
 
     def __init__(self) -> None:
-        self.lines: List[str] = []
-        self._seen: set = set()
+        self._families: Dict[str, Dict[str, Any]] = {}
 
     def header(self, name: str, kind: str, help_text: str) -> None:
-        if name not in self._seen:
-            self._seen.add(name)
-            self.lines.append(f"# HELP {name} {_escape_help(help_text)}")
-            self.lines.append(f"# TYPE {name} {kind}")
+        if name not in self._families:
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(f"illegal Prometheus metric family name: {name!r}")
+            self._families[name] = {
+                "kind": kind,
+                "help": _escape_help(help_text),
+                "samples": [],
+            }
+
+    def sample(
+        self,
+        family: str,
+        name: str,
+        labels: Optional[Dict[str, Any]],
+        value: Any,
+    ) -> None:
+        """Append one sample line (``name`` may be ``<family>_count``/``_sum``)."""
+        if family not in self._families:
+            raise KeyError(f"header() must declare family {family!r} before samples")
+        if name != family and not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"illegal Prometheus series name: {name!r}")
+        self._families[family]["samples"].append(_sample(name, labels, value))
 
     def add(
         self,
@@ -200,10 +232,15 @@ class _Exposition:
         labels: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.header(name, kind, help_text)
-        self.lines.append(_sample(name, labels, value))
+        self.sample(name, name, labels, value)
 
     def text(self) -> str:
-        return "\n".join(self.lines) + "\n"
+        lines: List[str] = []
+        for name, family in self._families.items():
+            lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['kind']}")
+            lines.extend(family["samples"])
+        return "\n".join(lines) + "\n"
 
 
 def _render_gateway(exp: _Exposition, gateway: Any) -> None:
@@ -227,26 +264,23 @@ def _render_gateway(exp: _Exposition, gateway: Any) -> None:
             "Per-route request latency (rolling-window quantiles).",
         )
         for q in (0.5, 0.99):
-            exp.lines.append(
-                _sample(
-                    "gateway_request_latency_seconds",
-                    {"route": route, "quantile": str(q)},
-                    metrics.quantile(route, q),
-                )
+            exp.sample(
+                "gateway_request_latency_seconds",
+                "gateway_request_latency_seconds",
+                {"route": route, "quantile": str(q)},
+                metrics.quantile(route, q),
             )
-        exp.lines.append(
-            _sample(
-                "gateway_request_latency_seconds_count",
-                {"route": route},
-                latency_counts[route],
-            )
+        exp.sample(
+            "gateway_request_latency_seconds",
+            "gateway_request_latency_seconds_count",
+            {"route": route},
+            latency_counts[route],
         )
-        exp.lines.append(
-            _sample(
-                "gateway_request_latency_seconds_sum",
-                {"route": route},
-                latency_sums[route],
-            )
+        exp.sample(
+            "gateway_request_latency_seconds",
+            "gateway_request_latency_seconds_sum",
+            {"route": route},
+            latency_sums[route],
         )
     exp.add(
         "gateway_inflight_requests",
@@ -440,18 +474,23 @@ def _render_obs(exp: _Exposition, dropped_series: int) -> None:
             "Per-phase tick/serving timings (rolling-window quantiles).",
         )
         for q, key in (("0.5", "p50_ms"), ("0.99", "p99_ms")):
-            exp.lines.append(
-                _sample(
-                    "repro_phase_seconds",
-                    {"phase": phase, "quantile": q},
-                    entry[key] / 1e3,
-                )
+            exp.sample(
+                "repro_phase_seconds",
+                "repro_phase_seconds",
+                {"phase": phase, "quantile": q},
+                entry[key] / 1e3,
             )
-        exp.lines.append(
-            _sample("repro_phase_seconds_count", {"phase": phase}, entry["count"])
+        exp.sample(
+            "repro_phase_seconds",
+            "repro_phase_seconds_count",
+            {"phase": phase},
+            entry["count"],
         )
-        exp.lines.append(
-            _sample("repro_phase_seconds_sum", {"phase": phase}, entry["total_s"])
+        exp.sample(
+            "repro_phase_seconds",
+            "repro_phase_seconds_sum",
+            {"phase": phase},
+            entry["total_s"],
         )
 
 
@@ -511,12 +550,26 @@ def parse_prometheus_text(
 
     Raises ``ValueError`` on any line that is neither a comment, blank, nor a
     well-formed sample — the smoke tests run every scrape through this, so a
-    formatting regression in the renderer fails loudly.
+    formatting regression in the renderer fails loudly.  Beyond line shape,
+    two structural rules of the format are enforced: a family's ``# TYPE``
+    must precede its first sample, and all samples of one family must form
+    a single uninterrupted group (``_count``/``_sum`` series count toward
+    their declared summary/histogram family).
     """
     series: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    types: Dict[str, str] = {}
+    sampled_families: set = set()
+    previous_family: Optional[str] = None
     for line in text.splitlines():
         line = line.strip()
-        if not line or line.startswith("#"):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[2] in types:
+                    raise ValueError(f"duplicate TYPE line for family {parts[2]!r}")
+                types[parts[2]] = parts[3]
             continue
         if "{" in line:
             name, rest = line.split("{", 1)
@@ -535,5 +588,22 @@ def parse_prometheus_text(
             value = float(value_text.strip().replace("+Inf", "inf").replace("-Inf", "-inf"))
         except ValueError as error:
             raise ValueError(f"malformed value in line: {line!r}") from error
+        family = name
+        for suffix in ("_count", "_sum", "_bucket"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) in ("summary", "histogram"):
+                family = base
+                break
+        if types:
+            # Only enforce structure on expositions that declare TYPE lines
+            # (hand-rolled header-less fixtures stay parseable).
+            if family != previous_family:
+                if family in sampled_families:
+                    raise ValueError(
+                        f"samples of family {family!r} are not contiguous: the "
+                        "family resumes after another family's samples"
+                    )
+                sampled_families.add(family)
+                previous_family = family
         series.setdefault(name, {})[labels] = value
     return series

@@ -147,6 +147,10 @@ class AdaptiveConformalCalibrator:
     width-adapted intervals whose per-horizon multiplier tracks the stream.
     """
 
+    #: ``_sorted`` is a derived mirror of the ``aci.scores`` ring:
+    #: ``set_state`` rebuilds it from the restored buffers.
+    _CHECKPOINT_EXEMPT = ("_sorted",)
+
     def __init__(self, horizon: int, config: Optional[ACIConfig] = None, **kwargs) -> None:
         if horizon < 1:
             raise ValueError("horizon must be >= 1")

@@ -41,6 +41,11 @@ class UQMethod(WindowedForecaster):
     #: Decoder heads the method's loss/predict contract needs.
     required_heads: Tuple[str, ...] = ("mean",)
 
+    #: ``_rng`` only seeds weight *initialization*; the checkpointed weights
+    #: already encode its effect, and predict-time draws use per-call
+    #: generators, so a restored instance never consults it.
+    _CHECKPOINT_EXEMPT = ("_rng",)
+
     def __init__(
         self,
         num_nodes: int,

@@ -1,0 +1,559 @@
+"""Fixture snippets for every rule: positive, negative, and noqa-suppressed."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleContext, all_rules
+from repro.analysis.framework import registered_rules
+
+
+def run_rule(rule_name, source, relpath="src/repro/streaming/fixture.py"):
+    """Run one rule family over an inline snippet; returns its findings."""
+    source = textwrap.dedent(source)
+    module = ModuleContext(
+        path=Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=ast.parse(source),
+        lines=source.splitlines(),
+    )
+    (rule,) = all_rules([rule_name])
+    findings = list(rule.check(module))
+    return [f for f in findings if not module.is_suppressed(f)]
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestRegistry:
+    def test_all_four_families_registered(self):
+        assert set(registered_rules()) >= {
+            "lock-order",
+            "checkpoint",
+            "determinism",
+            "boundary",
+        }
+
+    def test_unknown_rule_name_raises(self):
+        with pytest.raises(KeyError):
+            all_rules(["no-such-rule"])
+
+
+class TestLockOrder:
+    def test_opposite_nesting_orders_flag_a_cycle(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+        )
+        assert "lock-order/cycle" in rules_of(findings)
+        (cycle,) = [f for f in findings if f.rule == "lock-order/cycle"]
+        assert "Worker._a" in cycle.symbol and "Worker._b" in cycle.symbol
+
+    def test_consistent_order_is_clean(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def also_forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """,
+        )
+        assert findings == []
+
+    def test_cycle_through_intra_class_call_is_found(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def outer(self):
+                    with self._a:
+                        self.helper()
+
+                def helper(self):
+                    with self._b:
+                        pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+        )
+        assert "lock-order/cycle" in rules_of(findings)
+
+    def test_nonreentrant_reentry_is_a_self_deadlock(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """,
+        )
+        assert rules_of(findings) == ["lock-order/self-deadlock"]
+
+    def test_rlock_reentry_is_fine(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def step(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """,
+        )
+        assert findings == []
+
+    def test_untimed_result_under_lock_flagged_timed_allowed(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bad(self, future):
+                    with self._lock:
+                        return future.result()
+
+                def good(self, future):
+                    with self._lock:
+                        return future.result(timeout=5.0)
+            """,
+        )
+        assert rules_of(findings) == ["lock-order/blocking-call"]
+        (finding,) = findings
+        assert "Worker.bad" in finding.message
+
+    def test_str_join_is_not_a_blocking_call(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def render(self, parts):
+                    with self._lock:
+                        return ", ".join(parts)
+            """,
+        )
+        assert findings == []
+
+    def test_untimed_join_and_sleep_under_lock_flagged(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+            import time
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def stop(self, thread):
+                    with self._lock:
+                        thread.join()
+                        time.sleep(0.1)
+            """,
+        )
+        assert rules_of(findings) == ["lock-order/blocking-call"]
+        assert len(findings) == 2
+
+    def test_blocking_reachable_through_self_call_flagged(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        self.drain()
+
+                def drain(self):
+                    for future in []:
+                        future.result()
+            """,
+        )
+        assert "lock-order/blocking-call" in rules_of(findings)
+
+    def test_module_level_lock_cycle_with_class_lock(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            _GLOBAL = threading.Lock()
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def one(self):
+                    with self._lock:
+                        with _GLOBAL:
+                            pass
+
+                def two(self):
+                    with _GLOBAL:
+                        with self._lock:
+                            pass
+            """,
+        )
+        assert "lock-order/cycle" in rules_of(findings)
+
+    def test_noqa_suppresses_the_finding(self):
+        findings = run_rule(
+            "lock-order",
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bad(self, future):
+                    with self._lock:
+                        return future.result()  # repro: noqa[lock-order/blocking-call]
+            """,
+        )
+        assert findings == []
+
+
+class TestCheckpoint:
+    def test_unsaved_attr_is_flagged(self):
+        findings = run_rule(
+            "checkpoint",
+            """
+            class Core:
+                def __init__(self):
+                    self._step = 0
+                    self._drifted = {}
+
+                def get_state(self):
+                    return {"step": self._step}
+            """,
+        )
+        assert rules_of(findings) == ["checkpoint/missing-attr"]
+        (finding,) = findings
+        assert finding.symbol == "Core._drifted"
+
+    def test_saved_attrs_and_helper_reads_are_clean(self):
+        findings = run_rule(
+            "checkpoint",
+            """
+            class Core:
+                def __init__(self):
+                    self._step = 0
+                    self._pending = []
+
+                def get_state(self):
+                    return {"step": self._step, **self._pack()}
+
+                def _pack(self):
+                    return {"pending": list(self._pending)}
+            """,
+        )
+        assert findings == []
+
+    def test_lock_and_thread_factories_are_auto_exempt(self):
+        findings = run_rule(
+            "checkpoint",
+            """
+            import threading
+
+            class Core:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition()
+                    self._step = 0
+
+                def get_state(self):
+                    return {"step": self._step}
+            """,
+        )
+        assert findings == []
+
+    def test_checkpoint_exempt_class_attr_opts_out(self):
+        findings = run_rule(
+            "checkpoint",
+            """
+            class Core:
+                _CHECKPOINT_EXEMPT = ("_scratch",)
+
+                def __init__(self):
+                    self._scratch = []
+                    self._step = 0
+
+                def get_state(self):
+                    return {"step": self._step}
+            """,
+        )
+        assert findings == []
+
+    def test_class_without_get_state_is_ignored(self):
+        findings = run_rule(
+            "checkpoint",
+            """
+            class Plain:
+                def __init__(self):
+                    self._anything = 1
+            """,
+        )
+        assert findings == []
+
+    def test_noqa_on_the_assignment_suppresses(self):
+        findings = run_rule(
+            "checkpoint",
+            """
+            class Core:
+                def __init__(self):
+                    self._scratch = []  # repro: noqa[checkpoint]
+                    self._step = 0
+
+                def get_state(self):
+                    return {"step": self._step}
+            """,
+        )
+        assert findings == []
+
+
+class TestDeterminism:
+    def test_global_np_random_sampler_flagged(self):
+        findings = run_rule(
+            "determinism",
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.rand(3)
+            """,
+        )
+        assert rules_of(findings) == ["determinism/unseeded-random"]
+
+    def test_default_rng_and_seeded_seed_are_clean(self):
+        findings = run_rule(
+            "determinism",
+            """
+            import numpy as np
+            import random
+
+            def draw(seed):
+                random.seed(seed)
+                np.random.seed(seed)
+                rng = np.random.default_rng(seed)
+                local = random.Random(seed)
+                return rng.uniform(), local.random()
+            """,
+        )
+        assert findings == []
+
+    def test_stdlib_global_random_flagged(self):
+        findings = run_rule(
+            "determinism",
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+        )
+        assert rules_of(findings) == ["determinism/unseeded-random"]
+
+    def test_from_import_of_sampler_flagged(self):
+        findings = run_rule(
+            "determinism",
+            """
+            from random import choice
+
+            def pick(items):
+                return choice(items)
+            """,
+        )
+        assert rules_of(findings) == ["determinism/unseeded-random"]
+
+    def test_wall_clock_flagged_only_on_numeric_paths(self):
+        snippet = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        on_numeric = run_rule(
+            "determinism", snippet, relpath="src/repro/fleet/fixture.py"
+        )
+        off_numeric = run_rule(
+            "determinism", snippet, relpath="src/repro/obs/fixture.py"
+        )
+        assert rules_of(on_numeric) == ["determinism/wall-clock"]
+        assert off_numeric == []
+
+    def test_monotonic_is_allowed_on_numeric_paths(self):
+        findings = run_rule(
+            "determinism",
+            """
+            import time
+
+            def deadline():
+                return time.monotonic() + 5.0
+            """,
+            relpath="src/repro/fleet/fixture.py",
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = run_rule(
+            "determinism",
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.rand(3)  # repro: noqa[determinism]
+            """,
+        )
+        assert findings == []
+
+
+class TestBoundary:
+    def test_gateway_dumps_without_allow_nan_flagged(self):
+        findings = run_rule(
+            "boundary",
+            """
+            import json
+
+            def respond(payload):
+                return json.dumps(payload).encode()
+            """,
+            relpath="src/repro/gateway/fixture.py",
+        )
+        assert rules_of(findings) == ["boundary/json-nan"]
+
+    def test_strict_dumps_is_clean_and_non_gateway_ignored(self):
+        strict = run_rule(
+            "boundary",
+            """
+            import json
+
+            def respond(payload):
+                return json.dumps(payload, allow_nan=False).encode()
+            """,
+            relpath="src/repro/gateway/fixture.py",
+        )
+        elsewhere = run_rule(
+            "boundary",
+            """
+            import json
+
+            def dump(payload):
+                return json.dumps(payload)
+            """,
+            relpath="src/repro/utils/fixture.py",
+        )
+        assert strict == []
+        assert elsewhere == []
+
+    def test_illegal_metric_name_literal_flagged(self):
+        findings = run_rule(
+            "boundary",
+            """
+            def render(exp, value):
+                exp.add("repro-bad-name", "gauge", "help", value)
+            """,
+            relpath="src/repro/gateway/metrics.py",
+        )
+        assert rules_of(findings) == ["boundary/metric-name"]
+
+    def test_legal_names_and_fstring_fragments_clean(self):
+        findings = run_rule(
+            "boundary",
+            """
+            def render(exp, key, value):
+                exp.add("repro_server_requests_total", "counter", "help", value)
+                exp.add(f"repro_stream_{key}", "gauge", "help", value)
+            """,
+            relpath="src/repro/gateway/metrics.py",
+        )
+        assert findings == []
+
+    def test_illegal_fstring_fragment_flagged(self):
+        findings = run_rule(
+            "boundary",
+            """
+            def render(exp, key, value):
+                exp.add(f"repro stream {key}", "gauge", "help", value)
+            """,
+            relpath="src/repro/gateway/metrics.py",
+        )
+        assert rules_of(findings) == ["boundary/metric-name"]
+
+    def test_illegal_label_name_in_dict_literal_flagged(self):
+        findings = run_rule(
+            "boundary",
+            """
+            def render(exp, value):
+                exp.add("repro_x", "gauge", "help", value, {"bad-label": 1})
+            """,
+            relpath="src/repro/gateway/metrics.py",
+        )
+        assert rules_of(findings) == ["boundary/metric-name"]

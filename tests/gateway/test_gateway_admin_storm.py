@@ -9,6 +9,7 @@ import time
 
 import numpy as np
 
+from repro.analysis import lockwatch
 from repro.gateway import LoadGenerator
 from repro.serving import InferenceServer
 
@@ -25,61 +26,66 @@ def _admin(url, method, path, body=None):
 
 
 def test_promote_rollback_storm_under_http_load(make_gateway):
-    server = InferenceServer(max_batch_size=16, max_wait_ms=1.0, cache_size=64)
-    server.deploy("gen-0", constant_predictor(GENERATION_VALUES["gen-0"]), version="v0")
+    # The whole stack — server, gateway, HTTP threads, loadgen workers — is
+    # built inside the lock-order sanitizer; any admin-vs-data-plane lock
+    # cycle fails the test via the acyclicity assert at the end.
+    with lockwatch.watching(raise_on_cycle=False) as watch:
+        server = InferenceServer(max_batch_size=16, max_wait_ms=1.0, cache_size=64)
+        server.deploy("gen-0", constant_predictor(GENERATION_VALUES["gen-0"]), version="v0")
 
-    def resolver(spec):
-        return constant_predictor(float(spec["value"]))
+        def resolver(spec):
+            return constant_predictor(float(spec["value"]))
 
-    gateway = make_gateway(server=server, model_resolver=resolver)
-    url = gateway.url
-    valid_values = set(GENERATION_VALUES.values())
+        gateway = make_gateway(server=server, model_resolver=resolver)
+        url = gateway.url
+        valid_values = set(GENERATION_VALUES.values())
 
-    def validate(status, body):
-        """200 + a mean that is one generation's constant, never a mixture."""
-        if status != 200 or not isinstance(body, dict):
-            return False
-        mean = np.asarray(body.get("mean"), dtype=np.float64)
-        if mean.shape != (mean.shape[0], NODES) or mean.size == 0:
-            return False
-        values = set(np.unique(mean).tolist())
-        return len(values) == 1 and values.pop() in valid_values
+        def validate(status, body):
+            """200 + a mean that is one generation's constant, never a mixture."""
+            if status != 200 or not isinstance(body, dict):
+                return False
+            mean = np.asarray(body.get("mean"), dtype=np.float64)
+            if mean.shape != (mean.shape[0], NODES) or mean.size == 0:
+                return False
+            values = set(np.unique(mean).tolist())
+            return len(values) == 1 and values.pop() in valid_values
 
-    loadgen = LoadGenerator(
-        url,
-        num_workers=4,
-        seed=7,
-        validate_fn=validate,
-        history=HISTORY,
-        nodes=NODES,
-    )
-    outcome = {}
+        loadgen = LoadGenerator(
+            url,
+            num_workers=4,
+            seed=7,
+            validate_fn=validate,
+            history=HISTORY,
+            nodes=NODES,
+        )
+        outcome = {}
 
-    def pound():
-        outcome["report"] = loadgen.run(total_requests=400)
+        def pound():
+            outcome["report"] = loadgen.run(total_requests=400)
 
-    thread = threading.Thread(target=pound, daemon=True)
-    thread.start()
+        thread = threading.Thread(target=pound, daemon=True)
+        thread.start()
 
-    # The full ramp, interleaved with live traffic.
-    _admin(url, "POST", "/admin/deploy", {"name": "gen-1", "model": {"value": 1.0}, "version": "v1"})
-    _admin(url, "POST", "/admin/routes", {"weights": {"": 0.7, "gen-1": 0.3}})
-    time.sleep(0.05)
-    _admin(url, "POST", "/admin/promote", {"name": "gen-1"})
-    time.sleep(0.05)
-    _admin(url, "POST", "/admin/deploy", {"name": "gen-2", "model": {"value": 2.0}, "version": "v2"})
-    _admin(url, "POST", "/admin/routes", {"weights": {"": 0.5, "gen-2": 0.5}})
-    time.sleep(0.05)
-    _admin(url, "POST", "/admin/promote", {"name": "gen-2"})
-    time.sleep(0.05)
-    # Reject the canary: gen-2 is undeployed while its split weight still
-    # points at it — queued requests must fall back to the default, not drop.
-    _admin(url, "POST", "/admin/rollback", {"name": "gen-2"})
-    time.sleep(0.05)
-    _admin(url, "POST", "/admin/routes", {"weights": {"": 1.0}})
+        # The full ramp, interleaved with live traffic.
+        _admin(url, "POST", "/admin/deploy", {"name": "gen-1", "model": {"value": 1.0}, "version": "v1"})
+        _admin(url, "POST", "/admin/routes", {"weights": {"": 0.7, "gen-1": 0.3}})
+        time.sleep(0.05)
+        _admin(url, "POST", "/admin/promote", {"name": "gen-1"})
+        time.sleep(0.05)
+        _admin(url, "POST", "/admin/deploy", {"name": "gen-2", "model": {"value": 2.0}, "version": "v2"})
+        _admin(url, "POST", "/admin/routes", {"weights": {"": 0.5, "gen-2": 0.5}})
+        time.sleep(0.05)
+        _admin(url, "POST", "/admin/promote", {"name": "gen-2"})
+        time.sleep(0.05)
+        # Reject the canary: gen-2 is undeployed while its split weight still
+        # points at it — queued requests must fall back to the default, not drop.
+        _admin(url, "POST", "/admin/rollback", {"name": "gen-2"})
+        time.sleep(0.05)
+        _admin(url, "POST", "/admin/routes", {"weights": {"": 1.0}})
 
-    thread.join(timeout=60.0)
+        thread.join(timeout=60.0)
     assert not thread.is_alive(), "load generator never finished"
+    watch.assert_acyclic()
     report = outcome["report"]
 
     assert report.requests == 400

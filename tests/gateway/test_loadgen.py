@@ -151,3 +151,22 @@ def test_run_requires_a_bound(make_gateway):
     loadgen = LoadGenerator(gateway.url)
     with pytest.raises(ValueError):
         loadgen.run()
+
+
+# --------------------------------------------------------------------------- #
+# Wire-format strictness
+# --------------------------------------------------------------------------- #
+def test_nan_payload_fails_before_hitting_the_wire():
+    """Regression for the ``boundary/json-nan`` analyzer finding: a NaN in a
+    custom payload used to serialize as bare ``NaN`` (invalid JSON the
+    gateway rejects with a 400 the report miscounted as an http error).  It
+    must now raise locally, before any bytes are written."""
+    loadgen = LoadGenerator(
+        "http://127.0.0.1:1",
+        num_workers=1,
+        payload_fn=lambda rng, index: ("/predict", {"window": [[float("nan")]]}),
+    )
+    rng = np.random.default_rng(0)
+    # conn=None proves serialization fails before the connection is touched.
+    with pytest.raises(ValueError, match="[Nn]a[Nn]|[Oo]ut of range"):
+        loadgen._one_request(None, rng, 0)

@@ -1,0 +1,139 @@
+"""Regression tests for Prometheus exposition-format conformance.
+
+Found by the ``boundary/metric-name`` audit: the old renderer appended
+sample lines in call order, so the per-deployment and per-stream loops
+interleaved families (``repro_deployment_a{A} repro_deployment_b{A}
+repro_deployment_a{B}``) — illegal under the text format's rule that all
+lines of one metric family must form a single uninterrupted group.  The
+exposition now buffers per family, and the parser rejects a family that
+resumes after another family's samples (so the bug class cannot return
+silently).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gateway.metrics import _Exposition, parse_prometheus_text
+from repro.serving import InferenceServer
+
+from gatewaylib import HISTORY, NODES, constant_predictor, http_call
+
+
+def family_order(text):
+    """Family of each sample line, in emission order (summaries collapsed)."""
+    types = {}
+    order = []
+    for line in text.splitlines():
+        if line.startswith("# TYPE"):
+            parts = line.split()
+            types[parts[2]] = parts[3]
+            continue
+        if not line or line.startswith("#"):
+            continue
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        family = name
+        for suffix in ("_count", "_sum"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "summary":
+                family = base
+        order.append(family)
+    return order
+
+
+def assert_grouped(text):
+    order = family_order(text)
+    seen = set()
+    previous = None
+    for family in order:
+        if family != previous:
+            assert family not in seen, f"family {family!r} is not contiguous"
+            seen.add(family)
+            previous = family
+
+
+class TestFamilyGrouping:
+    def test_exposition_groups_interleaved_adds(self):
+        exp = _Exposition()
+        for index in ("a", "b"):
+            exp.add("demo_one_total", "counter", "One.", 1, {"x": index})
+            exp.add("demo_two_total", "counter", "Two.", 2, {"x": index})
+        text = exp.text()
+        assert_grouped(text)
+        lines = text.splitlines()
+        assert lines.index('demo_one_total{x="b"} 1') == lines.index(
+            'demo_one_total{x="a"} 1'
+        ) + 1
+
+    def test_summary_count_and_sum_stay_with_their_family(self):
+        exp = _Exposition()
+        exp.header("demo_seconds", "summary", "Latency.")
+        for route in ("a", "b"):
+            exp.sample("demo_seconds", "demo_seconds", {"route": route, "quantile": "0.5"}, 1)
+            exp.sample("demo_seconds", "demo_seconds_count", {"route": route}, 2)
+            exp.sample("demo_seconds", "demo_seconds_sum", {"route": route}, 3)
+        exp.add("demo_other", "gauge", "Other.", 0)
+        assert_grouped(exp.text())
+        parsed = parse_prometheus_text(exp.text())
+        assert parsed["demo_seconds_count"][(("route", "a"),)] == 2.0
+
+    def test_illegal_family_name_is_rejected_at_runtime(self):
+        exp = _Exposition()
+        with pytest.raises(ValueError, match="illegal Prometheus"):
+            exp.add("demo-bad", "gauge", "Bad.", 1)
+
+    def test_sample_requires_declared_family(self):
+        exp = _Exposition()
+        with pytest.raises(KeyError):
+            exp.sample("undeclared", "undeclared", None, 1)
+
+
+class TestParserStructureChecks:
+    def test_interleaved_families_are_rejected(self):
+        text = (
+            "# TYPE demo_one_total counter\n"
+            'demo_one_total{x="a"} 1\n'
+            "# TYPE demo_two_total counter\n"
+            'demo_two_total{x="a"} 1\n'
+            'demo_one_total{x="b"} 1\n'
+        )
+        with pytest.raises(ValueError, match="not contiguous"):
+            parse_prometheus_text(text)
+
+    def test_duplicate_type_line_is_rejected(self):
+        text = (
+            "# TYPE demo_total counter\n"
+            "demo_total 1\n"
+            "# TYPE demo_total counter\n"
+            "demo_total 2\n"
+        )
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus_text(text)
+
+    def test_headerless_fixtures_stay_parseable(self):
+        parsed = parse_prometheus_text("a_total 1\nb_total 2\na_total 3\n")
+        assert parsed["a_total"][()] == 3.0
+
+
+class TestRealScrapeIsGrouped:
+    def test_multi_deployment_scrape_passes_the_structure_check(self, make_gateway):
+        """Two deployments + shadow stats: the exact shape that interleaved."""
+        server = InferenceServer(max_batch_size=8, max_wait_ms=1.0, cache_size=64)
+        server.deploy("gen0", constant_predictor(0.0))
+        server.deploy("gen1", constant_predictor(1.0))
+        gateway = make_gateway(server=server)
+        window = np.zeros((HISTORY, NODES)).tolist()
+        for deployment in ("gen0", "gen1"):
+            status, _, _ = http_call(
+                gateway.url,
+                "POST",
+                "/predict",
+                {"window": window, "deployment": deployment},
+            )
+            assert status == 200
+        status, text, _ = http_call(gateway.url, "GET", "/metrics")
+        assert status == 200
+        assert_grouped(text)
+        series = parse_prometheus_text(text)  # strict parser enforces grouping too
+        assert series["repro_deployment_requests_served_total"][
+            (("deployment", "gen0"), ("version", "v0"))
+        ] >= 1.0

@@ -10,6 +10,7 @@ never interrupted.
 import numpy as np
 import pytest
 
+from repro.analysis import lockwatch
 from repro.fleet import FleetRefitPolicy, StreamFleet
 from repro.graph import grid_network
 from repro.scenarios import (
@@ -87,37 +88,42 @@ class TestKillAndRestoreEquivalence:
     def test_restored_fleet_is_bit_identical_to_uninterrupted_run(self, tmp_path):
         network = grid_network(2, 2)
 
-        uninterrupted_server = _server()
-        uninterrupted = _fleet(uninterrupted_server)
-        run_fleet_scenario(uninterrupted, _shift_feeds(network))
-        uninterrupted_server.stop()
+        # Every lock the servers/fleets construct below is order-tracked;
+        # recording (not raising) keeps the chaos run undisturbed and the
+        # acyclicity assert at the end fails the test on any cycle.
+        with lockwatch.watching(raise_on_cycle=False) as watch:
+            uninterrupted_server = _server()
+            uninterrupted = _fleet(uninterrupted_server)
+            run_fleet_scenario(uninterrupted, _shift_feeds(network))
+            uninterrupted_server.stop()
 
-        at_restore = {}
+            at_restore = {}
 
-        def killer(fleet, tick):
-            restored = kill_and_restore(
-                fleet, tmp_path / "ckpt", _server(), detector_factory=_detectors
+            def killer(fleet, tick):
+                restored = kill_and_restore(
+                    fleet, tmp_path / "ckpt", _server(), detector_factory=_detectors
+                )
+                at_restore["statistics"] = [
+                    stream.core.detectors[0].statistic
+                    for stream in restored.streams.values()
+                ]
+                at_restore["fired"] = [
+                    event
+                    for stream in restored.streams.values()
+                    for event in stream.core.event_log
+                    if event.kind == "error_cusum"
+                ]
+                return restored
+
+            killed_server = _server()
+            killed = _fleet(killed_server)
+            survivor, _ = run_fleet_scenario(
+                killed,
+                _shift_feeds(network),
+                chaos=ChaosSchedule().at(KILL, killer),
             )
-            at_restore["statistics"] = [
-                stream.core.detectors[0].statistic
-                for stream in restored.streams.values()
-            ]
-            at_restore["fired"] = [
-                event
-                for stream in restored.streams.values()
-                for event in stream.core.event_log
-                if event.kind == "error_cusum"
-            ]
-            return restored
-
-        killed_server = _server()
-        killed = _fleet(killed_server)
-        survivor, _ = run_fleet_scenario(
-            killed,
-            _shift_feeds(network),
-            chaos=ChaosSchedule().at(KILL, killer),
-        )
-        survivor.server.stop()
+            survivor.server.stop()
+        watch.assert_acyclic()
 
         # The kill landed mid-drift: the shift started at SHIFT, statistics
         # were accumulating at the restore, but no event had fired yet.

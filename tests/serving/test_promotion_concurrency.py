@@ -11,6 +11,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.analysis import lockwatch
 from repro.core.inference import PredictionResult
 from repro.serving import (
     InferenceServer,
@@ -39,43 +40,50 @@ def _windows(count, seed=0):
 
 class TestPromoteRollbackUnderLoad:
     def test_promotion_storm_drops_and_mixes_nothing(self):
-        """Clients hammering the default route while promote/rollback cycle."""
-        server = InferenceServer(
-            max_batch_size=4, max_wait_ms=1.0, cache_size=256, num_workers=4
-        )
-        generations = 5
-        for generation in range(generations):
-            server.deploy(f"gen-{generation}", _constant(generation))
-        windows = _windows(32)
-        client_values = []
-        errors = []
-        stop = threading.Event()
+        """Clients hammering the default route while promote/rollback cycle.
 
-        def client():
-            try:
-                while not stop.is_set():
-                    for result in server.predict_many(windows[:8], timeout=30.0):
-                        # One response must be internally consistent: a single
-                        # generation, never a blend of two.
-                        flat = result.mean.ravel()
-                        assert np.all(flat == flat[0])
-                        client_values.append(float(flat[0]))
-            except Exception as error:  # pragma: no cover - failure reporting
-                errors.append(error)
+        Runs under the lock-order sanitizer: every lock the server stack
+        constructs is tracked, and any promote-vs-dispatch ordering cycle
+        fails the test even if this run's interleaving never deadlocked.
+        """
+        with lockwatch.watching(raise_on_cycle=False) as watch:
+            server = InferenceServer(
+                max_batch_size=4, max_wait_ms=1.0, cache_size=256, num_workers=4
+            )
+            generations = 5
+            for generation in range(generations):
+                server.deploy(f"gen-{generation}", _constant(generation))
+            windows = _windows(32)
+            client_values = []
+            errors = []
+            stop = threading.Event()
 
-        with server:
-            threads = [threading.Thread(target=client, daemon=True) for _ in range(3)]
-            for thread in threads:
-                thread.start()
-            for generation in range(1, generations):
-                server.promote(f"gen-{generation}")
-            for _ in range(generations - 1):
-                server.rollback()
-            stop.set()
-            for thread in threads:
-                thread.join(timeout=30.0)
-            final = server.predict_many(windows, timeout=30.0)
+            def client():
+                try:
+                    while not stop.is_set():
+                        for result in server.predict_many(windows[:8], timeout=30.0):
+                            # One response must be internally consistent: a single
+                            # generation, never a blend of two.
+                            flat = result.mean.ravel()
+                            assert np.all(flat == flat[0])
+                            client_values.append(float(flat[0]))
+                except Exception as error:  # pragma: no cover - failure reporting
+                    errors.append(error)
 
+            with server:
+                threads = [threading.Thread(target=client, daemon=True) for _ in range(3)]
+                for thread in threads:
+                    thread.start()
+                for generation in range(1, generations):
+                    server.promote(f"gen-{generation}")
+                for _ in range(generations - 1):
+                    server.rollback()
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+                final = server.predict_many(windows, timeout=30.0)
+
+        watch.assert_acyclic()
         assert errors == []
         # After the rollbacks the default route is back at gen-0.
         assert {float(result.mean.flat[0]) for result in final} == {0.0}
@@ -106,30 +114,34 @@ class TestPromoteRollbackUnderLoad:
 
 class TestShadowUnderLoad:
     def test_shadow_mirror_never_reaches_clients(self):
-        server = InferenceServer(
-            router=ShadowRouter(shadows=["cand"]),
-            max_batch_size=8, max_wait_ms=1.0, cache_size=512, num_workers=4,
-        )
-        server.deploy("main", _constant(1))
-        server.deploy("cand", _constant(9))
-        errors = []
+        # Shadow dispatch acquires pool/cache/stats locks on a second path;
+        # the sanitizer proves that path agrees with the primary's order.
+        with lockwatch.watching(raise_on_cycle=False) as watch:
+            server = InferenceServer(
+                router=ShadowRouter(shadows=["cand"]),
+                max_batch_size=8, max_wait_ms=1.0, cache_size=512, num_workers=4,
+            )
+            server.deploy("main", _constant(1))
+            server.deploy("cand", _constant(9))
+            errors = []
 
-        def client(seed):
-            try:
-                for result in server.predict_many(_windows(40, seed=seed), timeout=30.0):
-                    assert float(result.mean.flat[0]) == 1.0
-            except Exception as error:  # pragma: no cover - failure reporting
-                errors.append(error)
+            def client(seed):
+                try:
+                    for result in server.predict_many(_windows(40, seed=seed), timeout=30.0):
+                        assert float(result.mean.flat[0]) == 1.0
+                except Exception as error:  # pragma: no cover - failure reporting
+                    errors.append(error)
 
-        with server:
-            threads = [
-                threading.Thread(target=client, args=(seed,), daemon=True)
-                for seed in range(4)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join(timeout=30.0)
+            with server:
+                threads = [
+                    threading.Thread(target=client, args=(seed,), daemon=True)
+                    for seed in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+        watch.assert_acyclic()
         assert errors == []
         assert server.stats["requests_served"] == 160
         stats = server.deployment_stats("cand")
