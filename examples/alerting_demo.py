@@ -1,0 +1,176 @@
+"""SLO alerting demo: a chaos fault pages, every surface shows it, it resolves.
+
+Run with::
+
+    python examples/alerting_demo.py          # default sizes
+    python examples/alerting_demo.py --fast   # smaller run, a couple seconds
+
+The script wires the full closed loop the observability PR added:
+
+1. declare an :class:`~repro.obs.SLOSpec` ("zero stream predict failures,
+   ever" — page severity) and attach an :class:`~repro.obs.SLOEngine` to a
+   :class:`~repro.fleet.StreamFleet`, so burn rates are evaluated on the
+   fleet's own deterministic tick clock;
+2. inject a :class:`~repro.scenarios.PredictFault` mid-run — the model pass
+   raises, streams log ``stream_predict_failed``, the zero-drop SLO breaches
+   on its short *and* long burn windows and the alert walks
+   ``pending -> firing``;
+3. while the page is live, show each gateway surface reacting:
+   ``GET /alerts`` (the engine snapshot), ``GET /healthz`` (503 degraded),
+   ``GET /metrics`` (``ALERTS`` + ``repro_slo_*`` families);
+4. stop the chaos, tick on — the short window drains, the alert resolves,
+   ``/healthz`` is green again, and ``GET /tail?kinds=slo.`` replays the
+   whole lifecycle as Server-Sent Events with sequence IDs.
+
+Point the same ``curl`` at any long-running gateway with an engine attached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import urllib.request
+
+import repro.obs as obs
+from repro.fleet import StreamFleet
+from repro.gateway import Gateway, parse_prometheus_text
+from repro.obs import SLOEngine, SLOSpec
+from repro.scenarios import PredictFault, ScenarioSpec
+from repro.graph import grid_network
+from repro.streaming import PersistenceForecaster
+from repro.serving import InferenceServer
+
+HISTORY, HORIZON = 6, 2
+FLAT = {"peak_amplitude": 0.0, "weekend_attenuation": 1.0}
+
+
+def http_call(url: str, method: str, path: str, body=None):
+    """One JSON request; returns ``(status, parsed_body_or_text)``."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=15) as response:
+            status, raw = response.status, response.read().decode()
+            content_type = response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as error:  # 503 while degraded is expected
+        status, raw = error.code, error.read().decode()
+        content_type = error.headers.get("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return status, json.loads(raw)
+    return status, raw
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="smaller run")
+    parser.add_argument("--streams", type=int, default=None)
+    args = parser.parse_args()
+    num_streams = args.streams or (3 if args.fast else 8)
+    steps = 24 if args.fast else 60
+    fault_at, fault_ticks = steps // 2, 2
+
+    obs.configure(logging=True, log_sink=False, seed=0)
+
+    # -- build: server + fleet + the SLO engine on the fleet clock ---------
+    model = PersistenceForecaster(horizon=HORIZON, sigma=20.0)
+    server = InferenceServer(
+        model.predict, model_version="base", max_batch_size=64
+    ).start()
+    fleet = StreamFleet(server, HISTORY, HORIZON, detector_factory=list)
+    network = grid_network(2, 2)
+    feeds = {
+        f"c{i}": list(
+            ScenarioSpec(
+                name="plain", num_steps=steps, seed=i, config=FLAT
+            ).build(network)
+        )
+        for i in range(num_streams)
+    }
+    for name in feeds:
+        fleet.add_stream(name)
+    engine = fleet.attach_slo(
+        SLOEngine(
+            specs=[
+                SLOSpec(
+                    name="zero_drop",
+                    kind="zero",
+                    metric="fleet.events.stream_predict_failed",
+                    long_window=8,
+                    short_window=2,
+                    severity="page",
+                    description="no stream predict failures, ever",
+                )
+            ]
+        )
+    )
+    gateway = Gateway(server, fleet=fleet, slo=engine).start(port=0)
+    print(f"gateway on {gateway.url}, SLO: zero_drop (page) attached")
+
+    def tick_range(lo, hi):
+        for t in range(lo, hi):
+            fleet.tick({name: rows[t] for name, rows in feeds.items()})
+
+    try:
+        # -- quiet warmup --------------------------------------------------
+        tick_range(0, fault_at)
+        status, health = http_call(gateway.url, "GET", "/healthz")
+        print(f"\nbefore chaos: /healthz -> {status} ({health['status']}), "
+              f"alerts firing: {health['alerts_firing']}")
+
+        # -- chaos: the model pass dies for a couple of ticks --------------
+        print(f"injecting PredictFault for ticks "
+              f"{fault_at}..{fault_at + fault_ticks - 1}")
+        server.fault_injector = PredictFault(
+            error=RuntimeError("chaos: model pass died"), count=None
+        )
+        tick_range(fault_at, fault_at + fault_ticks)
+        server.fault_injector = None
+
+        status, alerts = http_call(gateway.url, "GET", "/alerts")
+        firing = alerts["firing"][0]
+        print(f"\nwhile paging: /alerts -> {firing['slo']} is "
+              f"{firing['state']} (severity {firing['severity']}, "
+              f"fired_at tick {firing['fired_at']})")
+        status, health = http_call(gateway.url, "GET", "/healthz")
+        print(f"while paging: /healthz -> {status} ({health['status']})")
+        status, text = http_call(gateway.url, "GET", "/metrics")
+        series = parse_prometheus_text(text)
+        for key, value in series["ALERTS"].items():
+            labels = ", ".join(f"{k}={v}" for k, v in key)
+            print(f"while paging: ALERTS{{{labels}}} = {value:.0f}")
+
+        # -- recovery: the short burn window drains, the page resolves -----
+        tick_range(fault_at + fault_ticks, steps)
+        status, health = http_call(gateway.url, "GET", "/healthz")
+        print(f"\nafter recovery: /healthz -> {status} ({health['status']})")
+        status, alerts = http_call(gateway.url, "GET", "/alerts")
+        lifecycle = " -> ".join(
+            t["state"] for t in alerts["transitions"]
+        )
+        print(f"after recovery: alert lifecycle was {lifecycle}")
+
+        # -- the whole story as an SSE stream ------------------------------
+        status, raw = http_call(
+            gateway.url, "GET",
+            "/tail?kinds=slo.&since=0&max_events=3&timeout=5",
+        )
+        print("\nGET /tail?kinds=slo.&since=0 replays the lifecycle:")
+        for line in raw.splitlines():
+            if line.startswith(("event: ", "id: ")):
+                print(f"  {line}")
+            elif line.startswith("data: "):
+                record = json.loads(line[len("data: "):])
+                print(f"  data: tick={record['tick']} slo={record['slo']} "
+                      f"burn_long={record['burn_long']:.1f}")
+    finally:
+        gateway.stop()
+        server.stop()
+        obs.reset()
+    print("\ndone: the fault paged, every surface showed it, and it resolved.")
+
+
+if __name__ == "__main__":
+    main()

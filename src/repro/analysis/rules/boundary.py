@@ -1,17 +1,19 @@
 """``boundary`` — the HTTP/metrics boundary must emit only legal bytes.
 
-* ``boundary/json-nan`` — every ``json.dumps`` in the gateway package
-  must pass ``allow_nan=False``.  Python's default serializes ``NaN`` /
-  ``Infinity``, which are *not* JSON: a NaN smuggled into a payload
-  would produce bytes most clients reject.  Numeric payload paths
-  convert through ``json_ready(..., nan_to_none=True)`` first, so
-  strictness costs nothing and turns silent corruption into a loud
-  local ``ValueError``.
-* ``boundary/metric-name`` — Prometheus series and label names built in
-  ``gateway/metrics.py`` must match the exposition-format grammar
-  (``[a-zA-Z_:][a-zA-Z0-9_:]*`` for metric names,
-  ``[a-zA-Z_][a-zA-Z0-9_]*`` for label names).  Literal fragments of
-  f-strings are validated; interpolated fields are trusted (the
+* ``boundary/json-nan`` — every ``json.dumps`` in the wire-facing
+  packages (``repro/gateway/`` and ``repro/obs/`` — response bodies, the
+  SSE event writer, structured-log sinks) must pass ``allow_nan=False``.
+  Python's default serializes ``NaN`` / ``Infinity``, which are *not*
+  JSON: a NaN smuggled into a payload would produce bytes most clients
+  reject.  Numeric payload paths convert through
+  ``json_ready(..., nan_to_none=True)`` first, so strictness costs
+  nothing and turns silent corruption into a loud local ``ValueError``.
+* ``boundary/metric-name`` — Prometheus series and label names fed to the
+  exposition sinks (``exp.add`` / ``exp.header`` / ``exp.sample`` /
+  ``_sample``) anywhere in the wire-facing packages must match the
+  exposition-format grammar (``[a-zA-Z_:][a-zA-Z0-9_:]*`` for metric
+  names, ``[a-zA-Z_][a-zA-Z0-9_]*`` for label names).  Literal fragments
+  of f-strings are validated; interpolated fields are trusted (the
   runtime guard in ``_Exposition`` covers those).
 """
 
@@ -32,12 +34,9 @@ _NAME_SINK_ATTRS = {"add", "header", "sample"}
 _NAME_SINK_FUNCS = {"_sample"}
 
 
-def _gateway_file(module: ModuleContext) -> bool:
-    return "repro/gateway/" in module.relpath
-
-
-def _metrics_file(module: ModuleContext) -> bool:
-    return module.relpath.endswith("gateway/metrics.py")
+def _wire_file(module: ModuleContext) -> bool:
+    """Files whose output reaches the network boundary."""
+    return "repro/gateway/" in module.relpath or "repro/obs/" in module.relpath
 
 
 def _enclosing_names(tree: ast.Module) -> dict:
@@ -86,11 +85,10 @@ class BoundaryRule(Rule):
     )
 
     def check(self, module: ModuleContext) -> Iterable[Finding]:
-        if not _gateway_file(module):
+        if not _wire_file(module):
             return []
         findings: List[Finding] = []
         qualnames = None
-        metrics = _metrics_file(module)
 
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
@@ -126,9 +124,6 @@ class BoundaryRule(Rule):
                             ),
                         )
                     )
-
-            if not metrics:
-                continue
 
             # metric-name sinks: exp.add(name,...), exp.header(name,...),
             # exp.sample(family, name, ...), _sample(name, ...)

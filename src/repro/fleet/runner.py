@@ -36,6 +36,7 @@ import numpy as np
 from repro.fleet.coordinator import FleetRefitFn, FleetRefitPolicy, RefitCoordinator, RegionTrial
 from repro.obs.profiler import phase as obs_phase
 from repro.obs.profiler import profiling_enabled, record_phase
+from repro.obs.slo import fleet_source, server_source
 from repro.obs.trace import start_trace
 from repro.fleet.spatial import SpatialDriftAggregator
 from repro.fleet.streams import FleetStream
@@ -161,6 +162,8 @@ class StreamFleet:
             self.router = None
         self._tick = 0
         self._region_deployment: Dict[str, Optional[str]] = {}
+        self.slo: Optional[Any] = None
+        self._slo_every = 1
 
     # ------------------------------------------------------------------ #
     # Stream registration
@@ -504,6 +507,14 @@ class StreamFleet:
                 events=resolved.events,
             )
         self._tick += 1
+
+        # Phase 8 (optional) — sample metric sources and evaluate SLOs.  The
+        # engine only *reads* monitor/stats state (never stream state or
+        # RNGs), so an attached engine leaves fleet results bit-identical.
+        if self.slo is not None and tick_index % self._slo_every == 0:
+            with obs_phase("slo_eval"):
+                self.slo.step(tick_index)
+
         return FleetStepResult(tick=tick_index, results=results, events=fleet_events)
 
     def run(
@@ -530,6 +541,28 @@ class StreamFleet:
                 break
             results.append(self.tick(observations))
         return results
+
+    # ------------------------------------------------------------------ #
+    # SLO evaluation
+    # ------------------------------------------------------------------ #
+    def attach_slo(self, engine: Any, every: int = 1, sources: bool = True) -> Any:
+        """Evaluate ``engine`` at the end of every ``every``-th fleet tick.
+
+        The fleet owns the clock, so attaching here is what makes SLO
+        evaluation deterministic: samples land at tick indices, not wall
+        times.  With ``sources=True`` the engine's history gets this fleet
+        (``fleet.*`` monitor gauges + event counters) and its inference
+        server (``server.*`` stats) registered as metric sources; pass
+        ``False`` when the history is pre-wired.  Returns ``engine``.
+        """
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if sources:
+            engine.history.add_source("fleet", fleet_source(self))
+            engine.history.add_source("server", server_source(self.server))
+        self.slo = engine
+        self._slo_every = int(every)
+        return engine
 
     # ------------------------------------------------------------------ #
     # Coordinated refits and promotion

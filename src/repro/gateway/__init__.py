@@ -15,8 +15,19 @@ service using only the standard library:
   counters and the text exposition over gateway + server + fleet state
   (:func:`~repro.gateway.metrics.parse_prometheus_text` reads it back);
 * :class:`~repro.gateway.loadgen.LoadGenerator` — a seeded closed-loop load
-  generator (urllib + ThreadPool workers, per-request latency recording)
-  shared by the smoke/storm tests and ``benchmarks/bench_http_gateway.py``.
+  generator (http.client + ThreadPool workers, per-request and per-route
+  latency recording) shared by the smoke/storm tests and
+  ``benchmarks/bench_http_gateway.py``;
+* :class:`~repro.gateway.sse.EventTail` /
+  :func:`~repro.gateway.sse.format_sse_event` — the SSE framing and
+  cursor-polling loop behind ``GET /tail``, the gateway's live structured
+  event stream (alert transitions, drift, chaos — with heartbeats).
+
+With an :class:`~repro.obs.slo.SLOEngine` attached (``Gateway(slo=...)``),
+the ops plane also serves ``GET /alerts``, renders ``ALERTS`` /
+``repro_slo_*`` families in ``/metrics``, and degrades ``/healthz`` to 503
+while a page-severity alert fires; ``admin_token=...`` puts the admin plane
+and ``/tail`` behind a bearer token.
 
 Typical service::
 
@@ -31,19 +42,24 @@ Typical service::
 """
 
 from repro.gateway.gateway import ApiError, Gateway
-from repro.gateway.loadgen import LoadGenerator, LoadReport
+from repro.gateway.loadgen import LoadGenerator, LoadReport, RouteReport
 from repro.gateway.metrics import (
     GatewayMetrics,
     parse_prometheus_text,
     render_prometheus,
 )
+from repro.gateway.sse import EventTail, format_sse_comment, format_sse_event
 
 __all__ = [
     "ApiError",
+    "EventTail",
     "Gateway",
     "GatewayMetrics",
     "LoadGenerator",
     "LoadReport",
+    "RouteReport",
+    "format_sse_comment",
+    "format_sse_event",
     "parse_prometheus_text",
     "render_prometheus",
 ]

@@ -11,17 +11,23 @@ deployable service:
   ``POST /observe`` feeds fleet streams their observation rows, driving the
   full predict → observe → calibrate online loop over the wire;
 * **ops plane** — ``GET /snapshot`` (the fleet's JSON snapshot),
-  ``GET /metrics`` (Prometheus text exposition), ``GET /healthz``;
+  ``GET /metrics`` (Prometheus text exposition), ``GET /healthz`` (503
+  with detail while a page-severity SLO alert fires), ``GET /alerts``
+  (SLO alert state + history) and ``GET /tail`` (live SSE event stream
+  with heartbeats and trace-ID correlation);
 * **admin plane** — ``POST /admin/deploy`` / ``/admin/promote`` /
   ``/admin/rollback`` / ``/admin/routes`` (+ ``GET /admin/routes``), so a
   full canary ramp (deploy → traffic split → promote → rollback) is operable
-  with curl, no Python access needed, under the pool's zero-drop semantics.
+  with curl, no Python access needed, under the pool's zero-drop semantics;
+  optionally guarded (with ``/tail``) by a bearer ``admin_token``.
 
-Error taxonomy at the boundary: malformed bodies are ``400``, unknown
-deployments / streams / paths are ``404``, wrong methods are ``405``,
-conflicting admin actions (rollback with no history) are ``409``, and a
-stopped or shutting-down server is ``503`` with a ``Retry-After`` header.
-Responses never carry stack traces — errors are compact JSON records.
+Error taxonomy at the boundary: malformed bodies are ``400``, a missing or
+wrong bearer token on a guarded plane is ``401`` with ``WWW-Authenticate``,
+unknown deployments / streams / paths are ``404``, wrong methods are
+``405``, conflicting admin actions (rollback with no history) are ``409``,
+and a stopped or shutting-down server is ``503`` with a ``Retry-After``
+header.  Responses never carry stack traces — errors are compact JSON
+records.
 
 Lifecycle: ``start(port=0)`` binds an ephemeral port (tests run many
 gateways concurrently); ``stop(timeout)`` is bounded end to end — it stops
@@ -33,7 +39,9 @@ drains in-flight handlers until the deadline.
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -44,7 +52,9 @@ from urllib.parse import parse_qs, urlparse
 import numpy as np
 
 from repro.gateway.metrics import GatewayMetrics, render_prometheus
+from repro.gateway.sse import EventTail
 from repro.obs.profiler import profiler, profiling_enabled
+from repro.obs.slo import gateway_source
 from repro.obs.trace import start_span, start_trace, trace_store, tracing_enabled
 from repro.serving.router import KeyRouter, Router, TrafficSplitRouter
 from repro.serving.server import ServerStopped
@@ -59,10 +69,17 @@ _RETRY_AFTER = 1
 class ApiError(Exception):
     """One HTTP-boundary failure: status code + client-safe message."""
 
-    def __init__(self, status: int, message: str, retry_after: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[int] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = int(status)
         self.retry_after = retry_after
+        self.headers = dict(headers) if headers else None
 
 
 def _bad_request(message: str) -> ApiError:
@@ -119,6 +136,20 @@ class Gateway:
         Cardinality cap on per-stream series in ``GET /metrics``; streams
         beyond it are dropped from the scrape (counted in
         ``obs_dropped_series_total``), keeping huge fleets scrapeable.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOEngine`.  Attaching one lights
+        up ``GET /alerts``, the ``ALERTS`` / ``repro_slo_*`` families in
+        ``GET /metrics``, and degrades ``/healthz`` to 503-with-detail
+        while a page-severity alert fires; the gateway registers itself as
+        the engine's ``gateway`` metrics source (request totals, per-route
+        p99).  The *evaluation* cadence stays with whoever ticks the
+        engine (usually :meth:`StreamFleet.attach_slo`).
+    admin_token:
+        Optional bearer token guarding the admin plane (``/admin/*``) and
+        the live tail (``/tail``): requests must carry
+        ``Authorization: Bearer <token>`` or they get ``401``.  Defaults
+        to the ``REPRO_ADMIN_TOKEN`` environment variable; empty/unset
+        leaves those planes open (the local-dev default).
     """
 
     def __init__(
@@ -131,6 +162,8 @@ class Gateway:
         model_resolver: Optional[Callable[[Any], Any]] = None,
         significance: float = 0.05,
         max_metric_streams: int = 256,
+        slo: Optional[Any] = None,
+        admin_token: Optional[str] = None,
     ) -> None:
         self.server = server
         self.fleet = fleet
@@ -140,7 +173,13 @@ class Gateway:
         self.model_resolver = model_resolver
         self.significance = float(significance)
         self.max_metric_streams = int(max_metric_streams)
+        self.slo = slo
+        if admin_token is None:
+            admin_token = os.environ.get("REPRO_ADMIN_TOKEN", "")
+        self.admin_token = str(admin_token) or None
         self.metrics = GatewayMetrics()
+        if slo is not None:
+            slo.history.add_source("gateway", gateway_source(self))
         self._fleet_lock = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -155,6 +194,8 @@ class Gateway:
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/trace"): self._handle_trace,
             ("GET", "/profile"): self._handle_profile,
+            ("GET", "/alerts"): self._handle_alerts,
+            ("GET", "/tail"): self._handle_tail,
             ("POST", "/admin/deploy"): self._handle_deploy,
             ("POST", "/admin/promote"): self._handle_promote,
             ("POST", "/admin/rollback"): self._handle_rollback,
@@ -264,6 +305,23 @@ class Gateway:
         if any(known_path == path for _, known_path in self._routes):
             raise ApiError(405, f"{method} is not supported on {path}")
         raise ApiError(404, f"no such endpoint: {path}")
+
+    def _guarded(self, path: str) -> bool:
+        """Paths behind the optional admin bearer token."""
+        return path == "/admin" or path.startswith("/admin/") or path == "/tail"
+
+    def _authorize(self, path: str, authorization: Optional[str]) -> None:
+        """401 unless the request may touch ``path`` (no-op with no token set)."""
+        if self.admin_token is None or not self._guarded(path):
+            return
+        expected = f"Bearer {self.admin_token}".encode("utf-8")
+        supplied = (authorization or "").encode("utf-8", errors="replace")
+        if not hmac.compare_digest(supplied, expected):
+            raise ApiError(
+                401,
+                "this endpoint needs an 'Authorization: Bearer <token>' header",
+                headers={"WWW-Authenticate": "Bearer"},
+            )
 
     # ------------------------------------------------------------------ #
     # Data plane
@@ -440,12 +498,24 @@ class Gateway:
         self, body: Optional[dict], query: Optional[Dict[str, str]] = None
     ) -> Tuple[int, Any]:
         pool = self.server.pool
-        return 200, {
+        payload: Dict[str, Any] = {
             "status": "ok",
             "deployments": len(pool),
             "default_route": pool.default_name,
             "streams": len(self.fleet.streams) if self.fleet is not None else 0,
         }
+        if self.slo is not None:
+            firing = [alert.to_dict() for alert in self.slo.firing()]
+            payload["alerts_firing"] = len(firing)
+            pages = [alert for alert in firing if alert["severity"] == "page"]
+            if pages:
+                # A firing page means the service is violating an objective
+                # an operator promised to defend: degrade health so load
+                # balancers / orchestrators see it, with the detail inline.
+                payload["status"] = "degraded"
+                payload["firing"] = json_ready(pages, nan_to_none=True)
+                return 503, payload
+        return 200, payload
 
     def _handle_trace(
         self, body: Optional[dict], query: Optional[Dict[str, str]] = None
@@ -470,16 +540,68 @@ class Gateway:
     def _handle_profile(
         self, body: Optional[dict], query: Optional[Dict[str, str]] = None
     ) -> Tuple[int, Any]:
-        """``GET /profile`` — the per-phase tick cost breakdown."""
+        """``GET /profile[?window=<key>]`` — the per-phase tick cost breakdown.
+
+        Without ``window``, lifetime totals.  With it, each distinct ``key``
+        names one delta consumer: the response covers the interval since
+        that key's previous scrape (``/profile?window=prom`` from a scraper
+        reports per-interval cost, not ever-growing lifetime sums).
+        """
         prof = profiler()
-        return 200, json_ready(
-            {
-                "enabled": profiling_enabled(),
-                "phases": prof.snapshot(),
-                "top_phases": prof.top_phases(),
-            },
-            nan_to_none=True,
-        )
+        payload: Dict[str, Any] = {"enabled": profiling_enabled()}
+        window = query.get("window") if query else None
+        if window is not None:
+            if not window:
+                raise _bad_request("window needs a non-empty consumer key")
+            payload["window"] = window
+            payload["phases"] = prof.delta(key=window)
+        else:
+            payload["phases"] = prof.snapshot()
+            payload["top_phases"] = prof.top_phases()
+        return 200, json_ready(payload, nan_to_none=True)
+
+    def _handle_alerts(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:
+        """``GET /alerts`` — SLO specs, alert states and transition history."""
+        if self.slo is None:
+            raise ApiError(404, "no SLO engine is attached to this gateway")
+        return 200, json_ready(self.slo.snapshot(), nan_to_none=True)
+
+    def _handle_tail(
+        self, body: Optional[dict], query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any]:  # pragma: no cover - never dispatched
+        # /tail is served by the handler's streaming path (_stream_tail);
+        # this entry only exists so routing (404/405) treats it uniformly.
+        raise ApiError(500, "tail must be served as a stream")
+
+    def _build_tail(self, query: Dict[str, str]) -> EventTail:
+        """Validate ``GET /tail`` query params into an :class:`EventTail`.
+
+        ``kinds`` filters by event-kind prefix, ``since`` resumes from a
+        sequence cursor (the SSE ``id`` field), ``max_events`` / ``timeout``
+        / ``heartbeat`` bound the stream.
+        """
+
+        def _number(name: str, default: float, cast=float):
+            raw = query.get(name)
+            if raw is None:
+                return default
+            try:
+                return cast(raw)
+            except ValueError:
+                raise _bad_request(f"{name} must be a number")
+
+        try:
+            return EventTail(
+                kinds=query.get("kinds"),
+                since=_number("since", None, int) if "since" in query else None,
+                heartbeat_s=_number("heartbeat", 2.0),
+                max_events=_number("max_events", 256, int),
+                timeout_s=min(_number("timeout", 30.0), 300.0),
+            )
+        except ValueError as error:
+            raise _bad_request(str(error))
 
     # ------------------------------------------------------------------ #
     # Admin plane
@@ -709,6 +831,7 @@ class _Handler(BaseHTTPRequestHandler):
         payload: Any,
         retry_after: Optional[int] = None,
         content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         if isinstance(payload, str):
             data = payload.encode("utf-8")
@@ -723,11 +846,47 @@ class _Handler(BaseHTTPRequestHandler):
                 self.send_header("X-Trace-Id", trace_id)
             if retry_after is not None:
                 self.send_header("Retry-After", str(int(retry_after)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
         except (BrokenPipeError, ConnectionResetError, OSError):
             # The client hung up (or stop() closed the socket); the request
             # itself was already processed — nothing to unwind.
+            self.close_connection = True
+
+    def _stream_tail(self, query: Dict[str, str]) -> None:
+        """Serve ``GET /tail`` as a chunked SSE stream.
+
+        Frames go out in HTTP/1.1 chunked encoding (one chunk per SSE
+        frame) and the stream always ends with the zero-length terminator
+        unless the client disconnected — so a completed tail leaves the
+        keep-alive connection clean for the next request.
+        """
+        gateway = self.gateway
+        tail = gateway._build_tail(query)  # ApiError before headers go out
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Transfer-Encoding", "chunked")
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
+        self.end_headers()
+
+        def write(frame: bytes) -> None:
+            self.wfile.write(b"%x\r\n%s\r\n" % (len(frame), frame))
+
+        reason = tail.run(write, should_stop=lambda: gateway._shutting_down)
+        if reason != "disconnected":
+            try:
+                self.wfile.write(b"0\r\n\r\n")
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                reason = "disconnected"
+        if reason == "disconnected":
+            # Mid-stream the chunked body cannot be completed; poison the
+            # connection rather than let a half-written frame precede the
+            # next response.
             self.close_connection = True
 
     def _dispatch(self, method: str) -> None:
@@ -762,17 +921,22 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             try:
                 handler = gateway._resolve(method, path)
+                gateway._authorize(path, self.headers.get("Authorization"))
                 if gateway._shutting_down:
                     raise _unavailable("gateway is shutting down")
                 body = self._read_body() if method == "POST" else None
-                status, payload = handler(body, query)
-                if path == "/metrics":
+                if path == "/tail":
+                    status = 200
+                    self._stream_tail(query)
+                elif path == "/metrics":
+                    status, payload = handler(body, query)
                     self._send(
                         status,
                         payload,
                         content_type="text/plain; version=0.0.4; charset=utf-8",
                     )
                 else:
+                    status, payload = handler(body, query)
                     self._send(status, payload)
             except ApiError as error:
                 status = error.status
@@ -780,6 +944,7 @@ class _Handler(BaseHTTPRequestHandler):
                     status,
                     {"error": {"status": status, "message": str(error)}},
                     retry_after=error.retry_after,
+                    headers=error.headers,
                 )
             except Exception as error:  # pragma: no cover - defensive path
                 # Never leak a traceback to the wire; the type name is enough

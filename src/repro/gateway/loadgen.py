@@ -38,7 +38,13 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
-__all__ = ["LoadGenerator", "LoadReport", "default_payload_fn", "default_validate_fn"]
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "RouteReport",
+    "default_payload_fn",
+    "default_validate_fn",
+]
 
 #: ``payload_fn(rng, request_index) -> (path, json_body)``.
 PayloadFn = Callable[[np.random.Generator, int], Tuple[str, Dict[str, Any]]]
@@ -85,8 +91,37 @@ class _NoDelayConnection(http.client.HTTPConnection):
 
 
 @dataclass
+class RouteReport:
+    """Outcome of one route's share of a closed-loop run."""
+
+    requests: int = 0
+    ok: int = 0
+    http_errors: int = 0
+    dropped: int = 0
+    latencies: List[float] = field(default_factory=list, repr=False)  # seconds
+
+    def latency_ms(self, quantile: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.quantile(np.asarray(self.latencies), quantile) * 1e3)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_ms(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_ms(0.99)
+
+
+@dataclass
 class LoadReport:
-    """Aggregate outcome of one closed-loop run."""
+    """Aggregate outcome of one closed-loop run.
+
+    ``routes`` breaks every counter and latency list down by request path,
+    so a mixed-traffic run (``/predict`` + ``/observe``) can attribute its
+    aggregate p99 to the route that actually burned it.
+    """
 
     requests: int
     ok: int
@@ -95,6 +130,7 @@ class LoadReport:
     duration: float
     latencies: List[float] = field(default_factory=list, repr=False)  # seconds
     status_counts: Dict[int, int] = field(default_factory=dict)
+    routes: Dict[str, RouteReport] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -118,17 +154,23 @@ class LoadReport:
         statuses = ", ".join(
             f"{code}: {count}" for code, count in sorted(self.status_counts.items())
         )
-        return "\n".join(
-            [
-                f"requests:    {self.requests} "
-                f"(ok: {self.ok}, http errors: {self.http_errors}, dropped: {self.dropped})",
-                f"duration:    {self.duration:.3f} s "
-                f"({self.throughput:.1f} req/s closed-loop)",
-                f"latency:     p50 {self.p50_ms:.2f} ms | "
-                f"p99 {self.p99_ms:.2f} ms | max {self.latency_ms(1.0):.2f} ms",
-                f"status codes: {statuses or '(none)'}",
-            ]
-        )
+        lines = [
+            f"requests:    {self.requests} "
+            f"(ok: {self.ok}, http errors: {self.http_errors}, dropped: {self.dropped})",
+            f"duration:    {self.duration:.3f} s "
+            f"({self.throughput:.1f} req/s closed-loop)",
+            f"latency:     p50 {self.p50_ms:.2f} ms | "
+            f"p99 {self.p99_ms:.2f} ms | max {self.latency_ms(1.0):.2f} ms",
+            f"status codes: {statuses or '(none)'}",
+        ]
+        for path, route in sorted(self.routes.items()):
+            lines.append(
+                f"  {path:<12} {route.requests} req "
+                f"(ok: {route.ok}, http errors: {route.http_errors}, "
+                f"dropped: {route.dropped}) | "
+                f"p50 {route.p50_ms:.2f} ms | p99 {route.p99_ms:.2f} ms"
+            )
+        return "\n".join(lines)
 
 
 class LoadGenerator:
@@ -191,8 +233,8 @@ class LoadGenerator:
 
     def _one_request(
         self, conn: http.client.HTTPConnection, rng: np.random.Generator, index: int
-    ) -> Tuple[Optional[int], bool, float]:
-        """Returns ``(status or None, valid, latency_seconds)``.
+    ) -> Tuple[str, Optional[int], bool, float]:
+        """Returns ``(path, status or None, valid, latency_seconds)``.
 
         The request rides ``conn``, the calling worker's keep-alive
         connection (``request`` transparently reconnects a closed one); any
@@ -217,13 +259,13 @@ class LoadGenerator:
             raw = response.read()
         except (http.client.HTTPException, OSError):
             conn.close()
-            return None, False, time.perf_counter() - started
+            return path, None, False, time.perf_counter() - started
         latency = time.perf_counter() - started
         try:
             parsed = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return status, False, latency
-        return status, bool(self.validate_fn(status, parsed)), latency
+            return path, status, False, latency
+        return path, status, bool(self.validate_fn(status, parsed)), latency
 
     def _worker(self, args: Tuple[int, int, Optional[float]]) -> Dict[str, Any]:
         worker_index, request_budget, deadline = args
@@ -231,6 +273,7 @@ class LoadGenerator:
         rng = np.random.default_rng(self.seed + 1_000_003 * (worker_index + 1))
         statuses: Dict[int, int] = {}
         latencies: List[float] = []
+        routes: Dict[str, RouteReport] = {}
         ok = http_errors = dropped = 0
         index = 0
         conn = self._connect()
@@ -238,19 +281,28 @@ class LoadGenerator:
             while (request_budget is None or index < request_budget) and (
                 deadline is None or time.monotonic() < deadline
             ):
-                status, valid, latency = self._one_request(conn, rng, index)
+                path, status, valid, latency = self._one_request(conn, rng, index)
                 index += 1
                 latencies.append(latency)
+                route = routes.get(path)
+                if route is None:
+                    route = routes[path] = RouteReport()
+                route.requests += 1
+                route.latencies.append(latency)
                 if status is None:
                     dropped += 1
+                    route.dropped += 1
                     continue
                 statuses[status] = statuses.get(status, 0) + 1
                 if status == 200 and valid:
                     ok += 1
+                    route.ok += 1
                 elif status != 200:
                     http_errors += 1
+                    route.http_errors += 1
                 else:
                     dropped += 1  # 200 but malformed/invalid body
+                    route.dropped += 1
         finally:
             conn.close()
         return {
@@ -260,6 +312,7 @@ class LoadGenerator:
             "dropped": dropped,
             "latencies": latencies,
             "statuses": statuses,
+            "routes": routes,
         }
 
     def run(
@@ -291,10 +344,20 @@ class LoadGenerator:
         elapsed = time.perf_counter() - started
         statuses: Dict[int, int] = {}
         latencies: List[float] = []
+        routes: Dict[str, RouteReport] = {}
         for outcome in outcomes:
             for code, count in outcome["statuses"].items():
                 statuses[code] = statuses.get(code, 0) + count
             latencies.extend(outcome["latencies"])
+            for path, worker_route in outcome["routes"].items():
+                route = routes.get(path)
+                if route is None:
+                    route = routes[path] = RouteReport()
+                route.requests += worker_route.requests
+                route.ok += worker_route.ok
+                route.http_errors += worker_route.http_errors
+                route.dropped += worker_route.dropped
+                route.latencies.extend(worker_route.latencies)
         return LoadReport(
             requests=sum(o["requests"] for o in outcomes),
             ok=sum(o["ok"] for o in outcomes),
@@ -303,4 +366,5 @@ class LoadGenerator:
             duration=elapsed,
             latencies=latencies,
             status_counts=statuses,
+            routes=routes,
         )

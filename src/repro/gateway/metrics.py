@@ -494,6 +494,83 @@ def _render_obs(exp: _Exposition, dropped_series: int) -> None:
         )
 
 
+#: Numeric encoding of the alert lifecycle for ``repro_slo_alert_state``.
+_ALERT_STATE_CODES = {"inactive": 0, "pending": 1, "firing": 2, "resolved": 3}
+
+
+def _render_slo(exp: _Exposition, engine: Any) -> None:
+    """The SLO engine's families: burn rates, alert states, ``ALERTS``.
+
+    Follows the Prometheus convention of an ``ALERTS{alertname, alertstate}``
+    series with value 1 per pending/firing alert, plus gauges for the raw
+    burn-rate inputs so dashboards can plot the approach to a breach.
+    """
+    for alert in engine.alerts():
+        labels = {"slo": alert.spec.name, "series": alert.series}
+        for window, burn in (("long", alert.burn_long), ("short", alert.burn_short)):
+            exp.add(
+                "repro_slo_burn_rate",
+                "gauge",
+                "Error-budget consumption multiple per evaluation window.",
+                burn,
+                dict(labels, window=window),
+            )
+        exp.add(
+            "repro_slo_error_budget_remaining",
+            "gauge",
+            "1 minus the long-window burn rate (negative while over-burning).",
+            1.0 - alert.burn_long,
+            labels,
+        )
+        exp.add(
+            "repro_slo_alert_state",
+            "gauge",
+            "Alert lifecycle: 0 inactive, 1 pending, 2 firing, 3 resolved.",
+            _ALERT_STATE_CODES.get(alert.state, 0),
+            dict(labels, severity=alert.spec.severity),
+        )
+        if alert.state in ("pending", "firing"):
+            exp.add(
+                "ALERTS",
+                "gauge",
+                "Active SLO alerts (Prometheus ALERTS convention).",
+                1,
+                {
+                    "alertname": alert.spec.name,
+                    "alertstate": alert.state,
+                    "series": alert.series,
+                    "severity": alert.spec.severity,
+                },
+            )
+    for (slo, state), count in sorted(engine.transition_counts().items()):
+        exp.add(
+            "repro_slo_transitions_total",
+            "counter",
+            "Alert state transitions performed, by objective and new state.",
+            count,
+            {"slo": slo, "state": state},
+        )
+    history_stats = engine.history.stats
+    exp.add(
+        "repro_slo_evaluations_total",
+        "counter",
+        "SLO engine evaluation passes completed.",
+        engine.evaluations,
+    )
+    exp.add(
+        "repro_slo_history_samples",
+        "gauge",
+        "Tick samples currently retained in the metrics history ring.",
+        history_stats["samples"],
+    )
+    exp.add(
+        "repro_slo_history_source_errors_total",
+        "counter",
+        "Metric source poll failures swallowed by the history ring.",
+        history_stats["source_errors"],
+    )
+
+
 def render_prometheus(gateway: Any) -> str:
     """Render one scrape of the gateway (and the stack behind it) as text."""
     exp = _Exposition()
@@ -514,6 +591,9 @@ def render_prometheus(gateway: Any) -> str:
         server_stats = gateway.server.stats
     _render_server(exp, server_stats)
     _render_obs(exp, dropped_series)
+    slo = getattr(gateway, "slo", None)
+    if slo is not None:
+        _render_slo(exp, slo)
     return exp.text()
 
 

@@ -1,0 +1,150 @@
+"""Server-Sent Events framing + the live event tail loop behind ``GET /tail``.
+
+The structured event log (:mod:`repro.obs.events`) stamps every record with
+a monotonic sequence number; :class:`EventTail` turns that into a live
+stream without a subscriber registry: it remembers the last sequence it
+wrote and polls :func:`repro.obs.events.events_since` — each retained event
+is delivered exactly once, in order, and a consumer that reconnects with
+``?since=<last id>`` resumes where it left off.
+
+Framing is standard SSE (``text/event-stream``)::
+
+    event: slo.alert_firing
+    id: 4217
+    data: {"ts": ..., "kind": "slo.alert_firing", "trace_id": "t00a1...", ...}
+
+with ``: heartbeat`` comment frames while the log is idle, so proxies and
+clients can distinguish "quiet" from "dead".  JSON payloads are sanitized
+(NaN → null) and serialized strictly — the same no-NaN-on-the-wire contract
+as every other gateway surface.  The writer callable is the only transport
+coupling, so the loop is testable without sockets and reusable over the
+gateway's chunked HTTP/1.1 responses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.events import events_since, last_event_seq
+from repro.utils.jsonsafe import json_ready
+
+__all__ = ["EventTail", "format_sse_comment", "format_sse_event"]
+
+
+def format_sse_event(kind: str, seq: int, record: Dict[str, Any]) -> bytes:
+    """One SSE data frame: ``event`` + ``id`` + single-line JSON ``data``."""
+    text = json.dumps(
+        json_ready(record, nan_to_none=True),
+        default=str,
+        allow_nan=False,
+        separators=(",", ":"),
+    )
+    # SSE is line-framed; strict JSON on one line never contains a newline,
+    # so one data: line is always enough.
+    return f"event: {kind}\nid: {int(seq)}\ndata: {text}\n\n".encode("utf-8")
+
+
+def format_sse_comment(text: str) -> bytes:
+    """One SSE comment frame (heartbeats; ignored by event consumers)."""
+    safe = str(text).replace("\n", " ").replace("\r", " ")
+    return f": {safe}\n\n".encode("utf-8")
+
+
+class EventTail:
+    """Pump the structured event log to a writer as a bounded SSE stream.
+
+    Parameters
+    ----------
+    kinds:
+        Optional event-kind prefix filter (``"slo."`` tails only alert
+        transitions; ``None`` streams everything).
+    since:
+        Sequence cursor to resume from; ``None`` starts at "now" (only
+        events logged after the tail attaches), ``0`` replays the whole
+        retained ring.
+    heartbeat_s:
+        Idle interval after which a ``: heartbeat`` comment is written.
+    max_events:
+        Data frames to deliver before ending the stream (bounds every
+        tail; ``/tail`` is an ops peek, not a durable subscription).
+    timeout_s:
+        Wall-clock cap on the whole stream, idle or not.
+    poll_s:
+        Event-log poll interval while idle.
+    """
+
+    def __init__(
+        self,
+        kinds: Optional[str] = None,
+        since: Optional[int] = None,
+        heartbeat_s: float = 2.0,
+        max_events: int = 256,
+        timeout_s: float = 30.0,
+        poll_s: float = 0.05,
+    ) -> None:
+        if heartbeat_s <= 0 or timeout_s <= 0 or poll_s <= 0:
+            raise ValueError("heartbeat_s, timeout_s and poll_s must be > 0")
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.kinds = str(kinds) if kinds else None
+        self.cursor = int(since) if since is not None else last_event_seq()
+        self.heartbeat_s = float(heartbeat_s)
+        self.max_events = int(max_events)
+        self.timeout_s = float(timeout_s)
+        self.poll_s = float(poll_s)
+        self.delivered = 0
+        self.heartbeats = 0
+
+    def _matches(self, record: Dict[str, Any]) -> bool:
+        if self.kinds is None:
+            return True
+        return str(record.get("kind", "")).startswith(self.kinds)
+
+    def run(
+        self,
+        write: Callable[[bytes], None],
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> str:
+        """Stream until a bound is hit; returns why (``"max_events"``,
+        ``"timeout"``, ``"stopped"`` or ``"disconnected"``).
+
+        ``write`` receives complete SSE frames; any exception it raises is
+        treated as a client disconnect and ends the loop quietly.  The
+        caller owns transport framing (chunked encoding) and cleanup.
+        """
+        deadline = time.monotonic() + self.timeout_s
+        next_heartbeat = time.monotonic() + self.heartbeat_s
+        try:
+            write(format_sse_comment(f"tail start cursor={self.cursor}"))
+            while True:
+                if should_stop is not None and should_stop():
+                    return "stopped"
+                now = time.monotonic()
+                if now >= deadline:
+                    write(format_sse_comment("tail timeout"))
+                    return "timeout"
+                batch = events_since(self.cursor, limit=64)
+                wrote = False
+                for seq, record in batch:
+                    self.cursor = seq
+                    if not self._matches(record):
+                        continue
+                    write(format_sse_event(record.get("kind", "event"), seq, record))
+                    self.delivered += 1
+                    wrote = True
+                    if self.delivered >= self.max_events:
+                        write(format_sse_comment("tail complete"))
+                        return "max_events"
+                if wrote:
+                    next_heartbeat = time.monotonic() + self.heartbeat_s
+                    continue  # drain the backlog before sleeping
+                if now >= next_heartbeat:
+                    write(format_sse_comment("heartbeat"))
+                    self.heartbeats += 1
+                    next_heartbeat = now + self.heartbeat_s
+                time.sleep(min(self.poll_s, max(deadline - now, 0.0)))
+        except (OSError, ValueError):
+            # Broken pipe / closed writer: the client went away mid-frame.
+            return "disconnected"

@@ -1,6 +1,6 @@
 """``repro.obs`` — tracing, per-tick phase profiling, structured logging.
 
-The serving stack's measurement plane, three instruments behind one switch:
+The serving stack's measurement plane, four instruments behind one switch:
 
 * **request tracing** (:mod:`repro.obs.trace`) — trace/span IDs minted at
   the gateway and by :meth:`~repro.fleet.StreamFleet.tick`, propagated via
@@ -13,7 +13,13 @@ The serving stack's measurement plane, three instruments behind one switch:
   and merged into ``GET /metrics``;
 * **structured logging** (:mod:`repro.obs.events`) — ``obs.log_event``
   JSON records with trace-ID correlation for drift events, refit
-  lifecycle, promote/rollback and chaos injections.
+  lifecycle, promote/rollback and chaos injections;
+* **metrics history + SLO engine** (:mod:`repro.obs.timeseries`,
+  :mod:`repro.obs.slo`) — a bounded tick-stamped ring sampling the stack's
+  counters/gauges, evaluated by declarative :class:`SLOSpec` objectives
+  with multi-window burn-rate rules into a deterministic alert lifecycle
+  (pending → firing → resolved) served by ``GET /alerts``, ``/metrics``
+  ``ALERTS`` families and the ``GET /tail`` live event stream.
 
 Everything is **off by default** and constant-time when off: instrumented
 hot paths pay one flag check (plus a shared no-op context manager), so
@@ -39,6 +45,8 @@ from typing import Any, Optional
 from repro.obs.events import (
     configure_logging,
     events_emitted,
+    events_since,
+    last_event_seq,
     log_event,
     logging_enabled,
     recent_events,
@@ -52,6 +60,16 @@ from repro.obs.profiler import (
     profiling_enabled,
     record_phase,
 )
+from repro.obs.slo import (
+    Alert,
+    SLOEngine,
+    SLOSpec,
+    default_slos,
+    fleet_source,
+    gateway_source,
+    server_source,
+)
+from repro.obs.timeseries import MetricsHistory
 from repro.obs.trace import (
     NOOP_SPAN,
     Span,
@@ -68,8 +86,12 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Alert",
+    "MetricsHistory",
     "PHASES",
     "PhaseProfiler",
+    "SLOEngine",
+    "SLOSpec",
     "Span",
     "SpanContext",
     "TraceStore",
@@ -79,8 +101,13 @@ __all__ = [
     "configure_tracing",
     "current_context",
     "current_span",
+    "default_slos",
     "enabled",
     "events_emitted",
+    "events_since",
+    "fleet_source",
+    "gateway_source",
+    "last_event_seq",
     "log_event",
     "logging_enabled",
     "phase",
@@ -90,6 +117,7 @@ __all__ = [
     "record_phase",
     "record_span",
     "reset",
+    "server_source",
     "start_span",
     "start_trace",
     "trace_store",

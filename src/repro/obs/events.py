@@ -14,8 +14,12 @@ tells you *where in the request* it happened.
 
 Records go to a pluggable sink (default: one JSON line per record on
 stderr) and into a bounded in-memory ring (:func:`recent_events`) the ops
-surfaces read.  Disabled (the default), :func:`log_event` is a single flag
-check — the hooks sprinkled through the serving stack cost nothing.
+surfaces read.  Every record is stamped with a process-wide monotonic
+*sequence number*, so cursor-based consumers — the gateway's ``GET /tail``
+live stream — can poll :func:`events_since` and receive each event exactly
+once, in order, without a callback registry.  Disabled (the default),
+:func:`log_event` is a single flag check — the hooks sprinkled through the
+serving stack cost nothing.
 """
 
 from __future__ import annotations
@@ -25,12 +29,14 @@ import sys
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.trace import current_span
+from repro.utils.jsonsafe import json_ready
 
 __all__ = [
     "configure_logging",
+    "events_since",
     "log_event",
     "logging_enabled",
     "recent_events",
@@ -41,9 +47,14 @@ EventSink = Callable[[Dict[str, Any]], None]
 
 def _stderr_sink(record: Dict[str, Any]) -> None:
     try:
-        sys.stderr.write(json.dumps(record, default=str) + "\n")
-    except (OSError, ValueError):  # a closed stderr must never kill serving
-        pass
+        # Strict JSON even on the diagnostic sink: a NaN field would emit
+        # bytes most log pipelines reject, so sanitize then forbid.
+        text = json.dumps(
+            json_ready(record, nan_to_none=True), default=str, allow_nan=False
+        )
+        sys.stderr.write(text + "\n")
+    except (OSError, TypeError, ValueError):
+        pass  # a closed stderr / hostile payload must never kill serving
 
 
 _enabled = False
@@ -99,8 +110,8 @@ def log_event(kind: str, message: str = "", **fields: Any) -> Optional[Dict[str,
     record.update(fields)
     global _emitted
     with _lock:
-        _ring.append(record)
         _emitted += 1
+        _ring.append((_emitted, record))
         sink = _sink
     if sink is not None:
         sink(record)
@@ -110,8 +121,31 @@ def log_event(kind: str, message: str = "", **fields: Any) -> Optional[Dict[str,
 def recent_events(limit: int = 100) -> List[Dict[str, Any]]:
     """The most recent ``limit`` event records, oldest first."""
     with _lock:
-        events = list(_ring)
+        events = [record for _, record in _ring]
     return events[-max(int(limit), 0):]
+
+
+def events_since(
+    seq: int, limit: int = 256
+) -> List[Tuple[int, Dict[str, Any]]]:
+    """Ring records with sequence number > ``seq``, oldest first.
+
+    The cursor read behind the live tail: a consumer remembers the last
+    sequence number it saw and polls with it, receiving each retained event
+    exactly once and in order.  Events that fell off the ring before the
+    consumer caught up are simply gone (the ring is the bound); ``limit``
+    caps one poll's batch.
+    """
+    seq = int(seq)
+    with _lock:
+        fresh = [(s, record) for s, record in _ring if s > seq]
+    return fresh[: max(int(limit), 0)]
+
+
+def last_event_seq() -> int:
+    """Sequence number of the newest event (0 before any event)."""
+    with _lock:
+        return _ring[-1][0] if _ring else _emitted
 
 
 def events_emitted() -> int:

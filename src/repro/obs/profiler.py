@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from typing import Any, Dict, List, Optional
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "PHASES",
@@ -46,6 +46,7 @@ PHASES = (
     "drift_detect",
     "spatial_agg",
     "checkpoint",
+    "slo_eval",
 )
 
 
@@ -109,12 +110,19 @@ class PhaseProfiler:
     one :meth:`snapshot` is the whole per-tick cost breakdown.
     """
 
+    #: Bound on remembered :meth:`delta` consumer keys (oldest evicted).
+    MAX_DELTA_KEYS = 64
+
     def __init__(self, sample_window: int = 4096) -> None:
         if sample_window < 1:
             raise ValueError("sample_window must be >= 1")
         self.sample_window = int(sample_window)
         self._lock = threading.Lock()
         self._phases: Dict[str, _PhaseStat] = {}
+        # delta-consumer key -> {phase: (count, total)} at its last read
+        self._baselines: "OrderedDict[str, Dict[str, Tuple[int, float]]]" = (
+            OrderedDict()
+        )
 
     def record(self, name: str, seconds: float, count: int = 1) -> None:
         """Fold ``count`` occurrences totalling ``seconds`` into ``name``.
@@ -138,6 +146,7 @@ class PhaseProfiler:
     def reset(self) -> None:
         with self._lock:
             self._phases.clear()
+            self._baselines.clear()
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """JSON-ready ``{phase: {count, total_s, mean_ms, p50_ms, p99_ms}}``.
@@ -159,6 +168,49 @@ class PhaseProfiler:
                 "count": count,
                 "total_s": total,
                 "mean_ms": (total / count * 1e3) if count else float("nan"),
+                "p50_ms": p50 * 1e3,
+                "p99_ms": p99 * 1e3,
+            }
+        return out
+
+    def delta(self, key: str = "default") -> Dict[str, Dict[str, float]]:
+        """Interval snapshot since this ``key``'s previous :meth:`delta` call.
+
+        Each consumer (a Prometheus scraper, a dashboard poller) passes its
+        own ``key`` and receives the count/total/mean accumulated *since its
+        last read* — successive scrapes report the interval, not lifetime
+        totals.  The first call for a key covers everything so far.
+        ``p50_ms`` / ``p99_ms`` remain the rolling-ring quantiles (quantiles
+        do not difference), and phases idle over the interval are omitted.
+        Baselines for at most :data:`MAX_DELTA_KEYS` consumers are retained;
+        the least recently read is forgotten (its next read starts over).
+        """
+        key = str(key)
+        with self._lock:
+            current = {
+                name: (stat.count, stat.total, stat.quantile(0.50), stat.quantile(0.99))
+                for name, stat in self._phases.items()
+            }
+            baseline = self._baselines.pop(key, {})
+            self._baselines[key] = {
+                name: (count, total) for name, (count, total, _, _) in current.items()
+            }
+            while len(self._baselines) > self.MAX_DELTA_KEYS:
+                self._baselines.popitem(last=False)
+        known = [name for name in PHASES if name in current]
+        extra = sorted(set(current) - set(PHASES))
+        out: Dict[str, Dict[str, float]] = {}
+        for name in known + extra:
+            count, total, p50, p99 = current[name]
+            base_count, base_total = baseline.get(name, (0, 0.0))
+            d_count = count - base_count
+            d_total = total - base_total
+            if d_count <= 0:
+                continue
+            out[name] = {
+                "count": d_count,
+                "total_s": d_total,
+                "mean_ms": d_total / d_count * 1e3,
                 "p50_ms": p50 * 1e3,
                 "p99_ms": p99 * 1e3,
             }

@@ -1,0 +1,574 @@
+"""SLO engine: declarative objectives, burn-rate evaluation, alert lifecycle.
+
+PR 8 made the stack measurable; this module makes it *self-aware*.  A
+:class:`SLOSpec` declares one service-level objective over metrics recorded
+in a :class:`~repro.obs.timeseries.MetricsHistory` — availability ratios,
+latency/coverage bounds, zero-drop counters — and the :class:`SLOEngine`
+evaluates every spec each tick with the classic **multi-window burn-rate
+rule**: the fraction of the error budget being consumed must exceed the
+threshold over *both* a long window (statistical confidence) and a short
+window (fast reset once the incident ends) before an alert moves.
+
+Alert lifecycle is a deterministic state machine driven purely by tick
+indices and sampled values — no wall clock, no RNG — so a fixed-seed chaos
+scenario fires and resolves the same alerts at the same ticks every run::
+
+    inactive ──breach──▶ pending ──for_ticks held──▶ firing
+        ▲                   │                          │
+        └──────recovered────┘          recovered──▶ resolved ──breach──▶ pending
+
+``resolved`` is sticky (an alert that has fired and recovered displays as
+resolved, not as never-fired) and every transition emits one structured
+``slo.alert_*`` event via :func:`repro.obs.log_event`, carrying the active
+trace ID — the gateway's ``GET /tail`` stream shows alerts move live.
+
+Objective kinds, all reduced to a *bad fraction* over a window so one burn
+rate formula (``bad_fraction / (1 - target)``) covers them:
+
+* ``ratio`` — ``good`` / ``total`` cumulative counters (availability): the
+  bad fraction is the windowed failure share of the windowed traffic;
+* ``upper`` / ``lower`` — a gauge must stay below / above ``bound`` (p99
+  latency, per-stream PICP coverage): the bad fraction is the share of
+  window samples violating the bound;
+* ``zero`` — a cumulative counter must not increase at all (drops): any
+  windowed increase is a bad fraction of 1.0.
+
+``metric`` may contain ``*`` wildcards (``fleet.stream.*.coverage``); the
+engine expands them against the recorded metric names, one independent
+alert per concrete series.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import log_event
+from repro.obs.timeseries import MetricsHistory
+
+__all__ = [
+    "Alert",
+    "SLOEngine",
+    "SLOSpec",
+    "default_slos",
+    "fleet_source",
+    "gateway_source",
+    "server_source",
+]
+
+#: Alert lifecycle states, in escalation order.
+ALERT_STATES = ("inactive", "pending", "firing", "resolved")
+
+#: Spec kinds understood by the evaluator.
+SLO_KINDS = ("ratio", "upper", "lower", "zero")
+
+#: Alert severities; ``page`` degrades ``/healthz`` while firing.
+SEVERITIES = ("ticket", "page")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective.
+
+    Parameters
+    ----------
+    name:
+        Unique objective name (``availability``, ``p99_latency``, ...).
+    kind:
+        ``ratio`` | ``upper`` | ``lower`` | ``zero`` (see module docstring).
+    target:
+        Objective as a good fraction in ``(0, 1)``; the error budget is
+        ``1 - target``.  ``target=0.95`` tolerates 5 % bad samples.
+    metric:
+        Series name for ``upper`` / ``lower`` / ``zero`` kinds; ``*``
+        wildcards expand against recorded names, one alert per match.
+    good, total:
+        Cumulative counter names for the ``ratio`` kind.
+    bound:
+        The gauge bound for ``upper`` / ``lower`` kinds.
+    long_window, short_window:
+        Burn-rate windows in *samples* (= ticks at the default cadence).
+    burn_threshold:
+        Budget-consumption multiple both windows must exceed to breach;
+        1.0 means "burning budget exactly at the sustainable rate".
+    for_ticks:
+        Ticks a breach must hold in ``pending`` before the alert fires
+        (0 = fire on the evaluation that breaches).
+    severity:
+        ``ticket`` (default) or ``page`` — paging alerts degrade
+        ``/healthz`` to 503 while firing.
+    """
+
+    name: str
+    kind: str
+    target: float = 0.99
+    metric: Optional[str] = None
+    good: Optional[str] = None
+    total: Optional[str] = None
+    bound: Optional[float] = None
+    long_window: int = 20
+    short_window: int = 5
+    burn_threshold: float = 1.0
+    for_ticks: int = 0
+    severity: str = "ticket"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLOSpec needs a non-empty name")
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"kind must be one of {SLO_KINDS}, got {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must lie in (0, 1)")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}")
+        if self.long_window < 2 or not 1 <= self.short_window <= self.long_window:
+            raise ValueError(
+                "windows must satisfy 1 <= short_window <= long_window and "
+                "long_window >= 2"
+            )
+        if self.burn_threshold <= 0.0 or self.for_ticks < 0:
+            raise ValueError("burn_threshold must be > 0 and for_ticks >= 0")
+        if self.kind == "ratio":
+            if not self.good or not self.total:
+                raise ValueError("ratio specs need 'good' and 'total' counter names")
+        else:
+            if not self.metric:
+                raise ValueError(f"{self.kind} specs need a 'metric' name")
+        if self.kind in ("upper", "lower") and self.bound is None:
+            raise ValueError(f"{self.kind} specs need a 'bound'")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerable bad fraction."""
+        return 1.0 - self.target
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "metric": self.metric,
+            "good": self.good,
+            "total": self.total,
+            "bound": self.bound,
+            "long_window": self.long_window,
+            "short_window": self.short_window,
+            "burn_threshold": self.burn_threshold,
+            "for_ticks": self.for_ticks,
+            "severity": self.severity,
+            "description": self.description,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Evaluation primitives
+    # ------------------------------------------------------------------ #
+    def bad_fraction(
+        self, history: MetricsHistory, series: str, window: int
+    ) -> float:
+        """The objective's bad fraction over the last ``window`` samples."""
+        if self.kind == "ratio":
+            total = history.counter_delta(self.total, window)
+            if total <= 0.0:
+                return 0.0  # no traffic burns no budget
+            good = history.counter_delta(self.good, window)
+            return min(max(1.0 - good / total, 0.0), 1.0)
+        if self.kind == "zero":
+            # counter_delta, not delta: the first event of a kind *creates*
+            # its series, and that 0 -> N appearance must read as a breach.
+            return 1.0 if history.counter_delta(series, window) > 0.0 else 0.0
+        values = history.values(series, window)
+        if not values:
+            return 0.0
+        if self.kind == "upper":
+            bad = sum(1 for value in values if value > self.bound)
+        else:  # lower
+            bad = sum(1 for value in values if value < self.bound)
+        return bad / len(values)
+
+    def burn_rate(
+        self, history: MetricsHistory, series: str, window: int
+    ) -> float:
+        """Error-budget consumption multiple over ``window`` samples."""
+        return self.bad_fraction(history, series, window) / self.budget
+
+    def expand(self, history: MetricsHistory) -> List[str]:
+        """Concrete series names this spec currently evaluates over."""
+        if self.kind == "ratio":
+            return [self.name]  # counters are named explicitly; one series
+        if "*" not in self.metric and "?" not in self.metric:
+            return [self.metric]
+        return sorted(fnmatch.filter(history.names(), self.metric))
+
+
+class Alert:
+    """Lifecycle state of one (spec, series) pair.
+
+    Pure tick-index bookkeeping: :meth:`update` is called once per
+    evaluation with the breach verdict and moves the state machine,
+    returning the transition performed (``None`` when nothing moved).
+    """
+
+    __slots__ = (
+        "spec", "series", "state", "pending_since", "fired_at",
+        "resolved_at", "burn_long", "burn_short", "transitions",
+    )
+
+    def __init__(self, spec: SLOSpec, series: str) -> None:
+        self.spec = spec
+        self.series = series
+        self.state = "inactive"
+        self.pending_since: Optional[int] = None
+        self.fired_at: Optional[int] = None
+        self.resolved_at: Optional[int] = None
+        self.burn_long = 0.0
+        self.burn_short = 0.0
+        self.transitions = 0
+
+    def update(self, tick: int, breached: bool) -> Optional[str]:
+        """Advance one evaluation; returns ``pending``/``firing``/``resolved``
+        when the state moved this tick, else ``None``."""
+        if breached:
+            if self.state in ("inactive", "resolved"):
+                self.state = "pending"
+                self.pending_since = tick
+                self.transitions += 1
+                # for_ticks == 0 escalates in this same evaluation below,
+                # still reporting the pending transition first via the engine.
+                return "pending"
+            if (
+                self.state == "pending"
+                and tick - self.pending_since >= self.spec.for_ticks
+            ):
+                self.state = "firing"
+                self.fired_at = tick
+                self.transitions += 1
+                return "firing"
+            return None
+        if self.state == "pending":
+            # A breach that never fired quietly stands down.
+            self.state = "resolved" if self.resolved_at is not None else "inactive"
+            self.pending_since = None
+            self.transitions += 1
+            return None
+        if self.state == "firing":
+            self.state = "resolved"
+            self.resolved_at = tick
+            self.transitions += 1
+            return "resolved"
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo": self.spec.name,
+            "series": self.series,
+            "severity": self.spec.severity,
+            "state": self.state,
+            "pending_since": self.pending_since,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "burn_long": self.burn_long,
+            "burn_short": self.burn_short,
+            "burn_threshold": self.spec.burn_threshold,
+            "transitions": self.transitions,
+        }
+
+
+class SLOEngine:
+    """Evaluates :class:`SLOSpec` objectives over a metrics history.
+
+    One engine owns one :class:`MetricsHistory`; :meth:`step` is the whole
+    per-tick API — sample every source, evaluate every spec, move every
+    alert, emit one ``slo.alert_*`` event per transition.  Everything is
+    thread-safe (the gateway's read surfaces race the fleet's tick thread)
+    and deterministic given the sampled values.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SLOSpec] = (),
+        history: Optional[MetricsHistory] = None,
+        transition_history: int = 256,
+    ) -> None:
+        if transition_history < 1:
+            raise ValueError("transition_history must be >= 1")
+        self.history = history if history is not None else MetricsHistory()
+        self._lock = threading.Lock()
+        self._specs: Dict[str, SLOSpec] = {}
+        self._alerts: Dict[Tuple[str, str], Alert] = {}
+        self._transitions: deque = deque(maxlen=int(transition_history))
+        self._transition_counts: Counter = Counter()  # (slo, state) -> count
+        self._evaluations = 0
+        self._last_tick = -1
+        for spec in specs:
+            self.add_spec(spec)
+
+    # ------------------------------------------------------------------ #
+    # Spec registry
+    # ------------------------------------------------------------------ #
+    def add_spec(self, spec: SLOSpec) -> None:
+        if not isinstance(spec, SLOSpec):
+            raise TypeError(f"expected an SLOSpec, got {type(spec).__name__}")
+        with self._lock:
+            if spec.name in self._specs:
+                raise ValueError(f"an SLO named {spec.name!r} already exists")
+            self._specs[spec.name] = spec
+
+    def specs(self) -> List[SLOSpec]:
+        with self._lock:
+            return list(self._specs.values())
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def step(self, tick: int) -> List[Dict[str, Any]]:
+        """Sample all sources at ``tick``, then evaluate; the per-tick call."""
+        self.history.sample(tick)
+        return self.evaluate(tick)
+
+    def evaluate(self, tick: int) -> List[Dict[str, Any]]:
+        """Evaluate every spec against the current history.
+
+        Returns the transition records performed this evaluation (also
+        retained in :meth:`transitions` and emitted as structured events).
+        """
+        tick = int(tick)
+        performed: List[Dict[str, Any]] = []
+        with self._lock:
+            specs = list(self._specs.values())
+            self._evaluations += 1
+            self._last_tick = tick
+        for spec in specs:
+            for series in spec.expand(self.history):
+                burn_long = spec.burn_rate(self.history, series, spec.long_window)
+                burn_short = spec.burn_rate(self.history, series, spec.short_window)
+                breached = (
+                    burn_long >= spec.burn_threshold
+                    and burn_short >= spec.burn_threshold
+                )
+                key = (spec.name, series)
+                with self._lock:
+                    alert = self._alerts.get(key)
+                    if alert is None:
+                        alert = self._alerts[key] = Alert(spec, series)
+                alert.burn_long = burn_long
+                alert.burn_short = burn_short
+                # A fresh breach may legitimately move twice in one
+                # evaluation (pending then firing, when for_ticks == 0).
+                for _ in range(2):
+                    moved = alert.update(tick, breached)
+                    if moved is None:
+                        break
+                    performed.append(self._record_transition(alert, moved, tick))
+                    if moved != "pending" or spec.for_ticks > 0:
+                        break
+        return performed
+
+    def _record_transition(self, alert: Alert, state: str, tick: int) -> Dict[str, Any]:
+        record = {
+            "tick": tick,
+            "state": state,
+            "slo": alert.spec.name,
+            "series": alert.series,
+            "severity": alert.spec.severity,
+            "burn_long": alert.burn_long,
+            "burn_short": alert.burn_short,
+        }
+        with self._lock:
+            self._transitions.append(record)
+            self._transition_counts[(alert.spec.name, state)] += 1
+        log_event(
+            f"slo.alert_{state}",
+            message=(
+                f"SLO {alert.spec.name!r} [{alert.series}] {state} at tick "
+                f"{tick} (burn {alert.burn_long:.2f}/{alert.burn_short:.2f} "
+                f"vs {alert.spec.burn_threshold:.2f})"
+            ),
+            **record,
+        )
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Read surfaces
+    # ------------------------------------------------------------------ #
+    def alerts(self) -> List[Alert]:
+        with self._lock:
+            return list(self._alerts.values())
+
+    def firing(self, severity: Optional[str] = None) -> List[Alert]:
+        """Alerts currently in the ``firing`` state (optionally by severity)."""
+        return [
+            alert
+            for alert in self.alerts()
+            if alert.state == "firing"
+            and (severity is None or alert.spec.severity == severity)
+        ]
+
+    def page_firing(self) -> bool:
+        """True while any page-severity alert is firing (degrades healthz)."""
+        return bool(self.firing(severity="page"))
+
+    def transitions(self, limit: int = 100) -> List[Dict[str, Any]]:
+        """The most recent transition records, oldest first."""
+        with self._lock:
+            records = list(self._transitions)
+        return records[-max(int(limit), 0):]
+
+    @property
+    def evaluations(self) -> int:
+        """Evaluation passes completed (monotonic counter)."""
+        with self._lock:
+            return self._evaluations
+
+    def transition_counts(self) -> Dict[Tuple[str, str], int]:
+        """Monotonic ``(slo, state) -> transitions`` counters (metrics feed)."""
+        with self._lock:
+            return dict(self._transition_counts)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state for ``GET /alerts``."""
+        with self._lock:
+            evaluations = self._evaluations
+            last_tick = self._last_tick
+        return {
+            "evaluations": evaluations,
+            "last_tick": last_tick,
+            "specs": [spec.to_dict() for spec in self.specs()],
+            "alerts": [alert.to_dict() for alert in self.alerts()],
+            "firing": [alert.to_dict() for alert in self.firing()],
+            "transitions": self.transitions(),
+            "history": self.history.stats,
+        }
+
+    def __repr__(self) -> str:
+        firing = len(self.firing())
+        return (
+            f"SLOEngine({len(self.specs())} specs, {len(self.alerts())} alerts, "
+            f"{firing} firing, last_tick={self._last_tick})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Metric sources over the serving stack
+# --------------------------------------------------------------------------- #
+def server_source(server: Any):
+    """Numeric scalars of :attr:`InferenceServer.stats` (counters + gauges)."""
+
+    def sample() -> Dict[str, float]:
+        return {
+            key: value
+            for key, value in server.stats.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+
+    return sample
+
+
+def fleet_source(fleet: Any):
+    """Per-stream monitor gauges + per-kind event counters of one fleet.
+
+    Emits ``stream.<name>.<metric>`` rolling-monitor gauges (coverage, MAE,
+    ...), cumulative ``events.<kind>`` counters over the fleet-level event
+    log and ``stream_events.<kind>`` counters over the per-stream logs —
+    zero-drop SLOs watch ``events.stream_predict_failed``.
+    """
+
+    def sample() -> Dict[str, float]:
+        values: Dict[str, float] = {"tick": float(fleet._tick)}
+        for kind, count in Counter(
+            event.kind for event in fleet.event_log.events
+        ).items():
+            values[f"events.{kind}"] = float(count)
+        stream_kinds: Counter = Counter()
+        for name, stream in fleet.streams.items():
+            snapshot = stream.core.monitor.snapshot()
+            for key in ("coverage", "mae", "rmse", "mean_width", "winkler"):
+                if key in snapshot:
+                    values[f"stream.{name}.{key}"] = snapshot[key]
+            values[f"stream.{name}.steps"] = float(stream.core.step)
+            stream_kinds.update(event.kind for event in stream.core.event_log.events)
+        for kind, count in stream_kinds.items():
+            values[f"stream_events.{kind}"] = float(count)
+        return values
+
+    return sample
+
+
+def gateway_source(gateway: Any):
+    """Request totals + per-route p99 latency from the gateway's metrics."""
+
+    def sample() -> Dict[str, float]:
+        metrics = gateway.metrics
+        snapshot = metrics.snapshot()
+        values: Dict[str, float] = {
+            "requests_total": float(snapshot["requests_total"]),
+            "errors_total": float(snapshot["errors_total"]),
+            "ok_total": float(snapshot["requests_total"] - snapshot["errors_total"]),
+        }
+        for route in metrics.routes():
+            values[f"p99{route}"] = metrics.quantile(route, 0.99)
+        return values
+
+    return sample
+
+
+def default_slos(
+    coverage_target: float = 0.80,
+    coverage_bound: float = 0.85,
+    p99_bound_s: float = 0.5,
+    availability: float = 0.99,
+) -> List[SLOSpec]:
+    """A practical starter set over the standard source names.
+
+    Assumes sources registered as ``gateway`` (:func:`gateway_source`),
+    ``fleet`` (:func:`fleet_source`) and ``server`` (:func:`server_source`) —
+    the wiring :meth:`StreamFleet.attach_slo` and :class:`Gateway` perform.
+    """
+    return [
+        SLOSpec(
+            name="availability",
+            kind="ratio",
+            good="gateway.ok_total",
+            total="gateway.requests_total",
+            target=availability,
+            long_window=20,
+            short_window=5,
+            severity="page",
+            description="HTTP requests answered without an error status.",
+        ),
+        SLOSpec(
+            name="predict_p99_latency",
+            kind="upper",
+            metric="gateway.p99/predict",
+            bound=p99_bound_s,
+            target=0.90,
+            long_window=20,
+            short_window=5,
+            description=f"/predict p99 stays under {p99_bound_s * 1e3:.0f} ms.",
+        ),
+        SLOSpec(
+            name="stream_coverage",
+            kind="lower",
+            metric="fleet.stream.*.coverage",
+            bound=coverage_bound,
+            target=coverage_target,
+            long_window=16,
+            short_window=4,
+            for_ticks=2,
+            severity="page",
+            description="Per-stream rolling PICP stays above the floor.",
+        ),
+        SLOSpec(
+            name="zero_drop",
+            kind="zero",
+            metric="fleet.events.stream_predict_failed",
+            target=0.999,
+            long_window=8,
+            short_window=2,
+            severity="page",
+            description="No stream predict may fail (drops are incidents).",
+        ),
+    ]

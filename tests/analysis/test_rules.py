@@ -557,3 +557,61 @@ class TestBoundary:
             relpath="src/repro/gateway/metrics.py",
         )
         assert rules_of(findings) == ["boundary/metric-name"]
+
+
+class TestBoundaryScope:
+    """The wire-facing surface is repro/gateway/ AND repro/obs/ — the SSE
+    writer and structured-log sinks serialize to the network too."""
+
+    def test_lax_dumps_in_obs_package_flagged(self):
+        findings = run_rule(
+            "boundary",
+            """
+            import json
+
+            def frame(record):
+                return json.dumps(record).encode("utf-8")
+            """,
+            relpath="src/repro/obs/events.py",
+        )
+        assert rules_of(findings) == ["boundary/json-nan"]
+
+    def test_strict_obs_serializer_is_clean(self):
+        findings = run_rule(
+            "boundary",
+            """
+            import json
+
+            def frame(record):
+                return json.dumps(record, allow_nan=False).encode("utf-8")
+            """,
+            relpath="src/repro/obs/events.py",
+        )
+        assert findings == []
+
+    def test_metric_name_sinks_checked_outside_metrics_module(self):
+        # The sink check follows the call, not the filename: an exposition
+        # builder fed a bad literal from sse.py (or any wire file) is caught.
+        findings = run_rule(
+            "boundary",
+            """
+            def render(exp, value):
+                exp.add("bad metric name", "gauge", "help", value)
+            """,
+            relpath="src/repro/gateway/sse.py",
+        )
+        assert rules_of(findings) == ["boundary/metric-name"]
+
+    def test_non_wire_packages_stay_out_of_scope(self):
+        findings = run_rule(
+            "boundary",
+            """
+            import json
+
+            def dump(exp, payload):
+                exp.add("bad metric name", "gauge", "help", 1.0)
+                return json.dumps(payload)
+            """,
+            relpath="src/repro/utils/fixture.py",
+        )
+        assert findings == []

@@ -27,7 +27,8 @@ class TestExamples:
                 "custom_dataset.py", "serving_demo.py",
                 "streaming_dashboard.py", "canary_promotion.py",
                 "fleet_demo.py", "chaos_demo.py",
-                "gateway_demo.py", "tracing_demo.py"}.issubset(scripts)
+                "gateway_demo.py", "tracing_demo.py",
+                "alerting_demo.py"}.issubset(scripts)
 
     def test_quickstart_fast(self):
         result = _run("quickstart.py", "--fast", "--epochs", "2")
@@ -104,6 +105,16 @@ class TestExamples:
         assert "top phases by total cost:" in result.stdout
         assert "obs_tracing_enabled" in result.stdout
         assert "gateway stopped cleanly" in result.stdout
+
+    def test_alerting_demo_fast(self):
+        result = _run("alerting_demo.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "zero_drop is firing" in result.stdout
+        assert "/healthz -> 503 (degraded)" in result.stdout
+        assert "ALERTS{alertname=zero_drop, alertstate=firing" in result.stdout
+        assert "pending -> firing -> resolved" in result.stdout
+        assert "event: slo.alert_resolved" in result.stdout
+        assert result.stdout.strip().endswith("it resolved.")
 
     def test_streaming_dashboard_fast(self):
         result = _run("streaming_dashboard.py", "--fast")

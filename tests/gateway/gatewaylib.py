@@ -25,23 +25,26 @@ def constant_predictor(value: float):
     return predict
 
 
-def http_call(url: str, method: str, path: str, body=None, timeout: float = 15.0):
+def http_call(url: str, method: str, path: str, body=None, timeout: float = 15.0,
+              headers=None):
     """One JSON request; returns ``(status, parsed_body, headers)``.
 
     Non-2xx responses are returned, not raised, so tests assert on status
     codes directly; ``/metrics`` text comes back as a plain string.
+    ``headers`` adds extra request headers (e.g. ``Authorization``).
     """
     data = json.dumps(body).encode("utf-8") if body is not None else None
-    return raw_call(url, method, path, data, timeout=timeout)
+    return raw_call(url, method, path, data, timeout=timeout, headers=headers)
 
 
-def raw_call(url: str, method: str, path: str, data=None, timeout: float = 15.0):
+def raw_call(url: str, method: str, path: str, data=None, timeout: float = 15.0,
+             headers=None):
     """Like :func:`http_call` but sends ``data`` bytes verbatim."""
     request = urllib.request.Request(
         url + path,
         data=data,
         method=method,
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:

@@ -1,0 +1,245 @@
+"""Acceptance: a fixed-seed chaos fault drives an SLO alert through its whole
+lifecycle — pending → firing → resolved — observable on every gateway surface
+(`/alerts` JSON, `/metrics` Prometheus families, the `/tail` SSE stream) with
+`/healthz` degrading to 503 while the page-severity alert is live."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.fleet import StreamFleet
+from repro.gateway.metrics import parse_prometheus_text
+from repro.obs.slo import SLOEngine, SLOSpec
+from repro.scenarios import PredictFault, ScenarioSpec
+from repro.graph import grid_network
+from repro.streaming import PersistenceForecaster
+from repro.serving import InferenceServer
+
+from gatewaylib import http_call
+
+HISTORY, HORIZON = 6, 2
+STEPS = 24
+FAULT_AT = 10          # first faulted tick (well past the window warmup)
+FAULT_TICKS = 2        # consecutive faulted ticks
+FLAT = {"peak_amplitude": 0.0, "weekend_attenuation": 1.0}
+
+ZERO_DROP = SLOSpec(
+    name="zero_drop",
+    kind="zero",
+    metric="fleet.events.stream_predict_failed",
+    good=None,
+    total=None,
+    long_window=8,
+    short_window=2,
+    for_ticks=0,
+    severity="page",
+    description="no stream predict failures, ever",
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _feeds(num_streams=3):
+    network = grid_network(2, 2)
+    return {
+        f"c{i}": list(
+            ScenarioSpec(
+                name="plain", num_steps=STEPS, seed=i, config=FLAT
+            ).build(network)
+        )
+        for i in range(num_streams)
+    }
+
+
+def _stack():
+    """Server + fleet + attached SLO engine, nothing ticked yet."""
+    model = PersistenceForecaster(horizon=HORIZON, sigma=20.0)
+    server = InferenceServer(
+        model.predict, model_version="base", max_batch_size=64
+    ).start()
+    fleet = StreamFleet(server, HISTORY, HORIZON, detector_factory=list)
+    feeds = _feeds()
+    for name in feeds:
+        fleet.add_stream(name)
+    engine = fleet.attach_slo(SLOEngine(specs=[ZERO_DROP]))
+    return server, fleet, feeds, engine
+
+
+def _tick_range(fleet, feeds, lo, hi):
+    for t in range(lo, hi):
+        fleet.tick({name: rows[t] for name, rows in feeds.items()})
+
+
+class TestAlertLifecycleOverTheWire:
+    def test_chaos_fault_fires_and_resolves_on_every_surface(self, make_gateway):
+        obs.configure(logging=True, log_sink=False)
+        server, fleet, feeds, engine = _stack()
+        gw = make_gateway(server=server, fleet=fleet, slo=engine)
+
+        # Quiet warmup: no alert, healthz green, ALERTS family absent.
+        _tick_range(fleet, feeds, 0, FAULT_AT)
+        status, body, _ = http_call(gw.url, "GET", "/alerts")
+        assert status == 200
+        assert body["firing"] == []
+        assert [a["state"] for a in body["alerts"]] == ["inactive"]
+        status, health, _ = http_call(gw.url, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["alerts_firing"] == 0
+
+        # Chaos: every model pass raises for FAULT_TICKS ticks.
+        fault = PredictFault(
+            error=RuntimeError("chaos: model pass died"), count=None
+        )
+        server.fault_injector = fault
+        _tick_range(fleet, feeds, FAULT_AT, FAULT_AT + FAULT_TICKS)
+        server.fault_injector = None
+        assert fault.fired >= 1
+
+        # -- /alerts: the zero-drop page alert is firing. --
+        status, body, _ = http_call(gw.url, "GET", "/alerts")
+        assert status == 200
+        (alert,) = body["firing"]
+        assert alert["slo"] == "zero_drop"
+        assert alert["state"] == "firing"
+        assert alert["severity"] == "page"
+        states = [t["state"] for t in body["transitions"]]
+        assert states == ["pending", "firing"]
+
+        # -- /healthz: page severity degrades serving health to 503. --
+        status, health, _ = http_call(gw.url, "GET", "/healthz")
+        assert status == 503
+        assert health["status"] == "degraded"
+        assert health["alerts_firing"] == 1
+        assert health["firing"][0]["slo"] == "zero_drop"
+
+        # -- /metrics: ALERTS convention + burn-rate/state families. --
+        status, text, headers = http_call(gw.url, "GET", "/metrics")
+        assert status == 200
+        series = parse_prometheus_text(text)
+        alerts_key = (
+            ("alertname", "zero_drop"),
+            ("alertstate", "firing"),
+            ("series", "fleet.events.stream_predict_failed"),
+            ("severity", "page"),
+        )
+        assert series["ALERTS"][alerts_key] == 1.0
+        state_key = (
+            ("series", "fleet.events.stream_predict_failed"),
+            ("severity", "page"),
+            ("slo", "zero_drop"),
+        )
+        assert series["repro_slo_alert_state"][state_key] == 2.0  # firing
+        burn = series["repro_slo_burn_rate"]
+        long_key = (
+            ("series", "fleet.events.stream_predict_failed"),
+            ("slo", "zero_drop"),
+            ("window", "long"),
+        )
+        assert burn[long_key] >= 1.0
+        transitions = series["repro_slo_transitions_total"]
+        assert transitions[(("slo", "zero_drop"), ("state", "firing"))] == 1.0
+        evals_mid = series["repro_slo_evaluations_total"][()]
+        assert evals_mid == FAULT_AT + FAULT_TICKS
+
+        # Recovery: faults stopped, the short window drains the breach.
+        _tick_range(fleet, feeds, FAULT_AT + FAULT_TICKS, STEPS)
+
+        # -- /alerts: resolved, page pressure gone. --
+        status, body, _ = http_call(gw.url, "GET", "/alerts")
+        assert body["firing"] == []
+        (alert,) = body["alerts"]
+        assert alert["state"] == "resolved"
+        assert alert["fired_at"] == FAULT_AT  # breach on the first faulted tick
+        states = [t["state"] for t in body["transitions"]]
+        assert states == ["pending", "firing", "resolved"]
+
+        # -- /healthz: green again. --
+        status, health, _ = http_call(gw.url, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+        # -- /metrics: counters moved monotonically, state shows resolved. --
+        status, text, _ = http_call(gw.url, "GET", "/metrics")
+        series = parse_prometheus_text(text)
+        assert series["repro_slo_alert_state"][state_key] == 3.0  # resolved
+        assert series["repro_slo_evaluations_total"][()] == STEPS
+        assert series["repro_slo_evaluations_total"][()] > evals_mid
+        transitions = series["repro_slo_transitions_total"]
+        assert transitions[(("slo", "zero_drop"), ("state", "resolved"))] == 1.0
+        # A resolved alert keeps its ALERTS row out of the firing states.
+        assert alerts_key not in series.get("ALERTS", {})
+
+        # -- /tail: the whole lifecycle is in the event stream. --
+        status, raw, headers = http_call(
+            gw.url, "GET", "/tail?kinds=slo.&since=0&max_events=3&timeout=5"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/event-stream")
+        kinds = [
+            line[len("event: "):]
+            for line in raw.splitlines()
+            if line.startswith("event: ")
+        ]
+        assert kinds == [
+            "slo.alert_pending", "slo.alert_firing", "slo.alert_resolved"
+        ]
+        payloads = [
+            json.loads(line[len("data: "):])
+            for line in raw.splitlines()
+            if line.startswith("data: ")
+        ]
+        assert [p["state"] for p in payloads] == ["pending", "firing", "resolved"]
+        assert all(p["slo"] == "zero_drop" for p in payloads)
+        assert payloads[1]["tick"] == FAULT_AT
+
+    def test_lifecycle_is_deterministic_across_runs(self, make_gateway):
+        """Two identical fixed-seed runs produce identical transition lists."""
+        runs = []
+        for _ in range(2):
+            obs.reset()
+            server, fleet, feeds, engine = _stack()
+            try:
+                fault = PredictFault(
+                    error=RuntimeError("chaos: model pass died"), count=None
+                )
+                _tick_range(fleet, feeds, 0, FAULT_AT)
+                server.fault_injector = fault
+                _tick_range(fleet, feeds, FAULT_AT, FAULT_AT + FAULT_TICKS)
+                server.fault_injector = None
+                _tick_range(fleet, feeds, FAULT_AT + FAULT_TICKS, STEPS)
+                runs.append(
+                    [
+                        (t["tick"], t["state"], t["series"])
+                        for t in engine.transitions()
+                    ]
+                )
+            finally:
+                server.stop()
+        assert runs[0] == runs[1]
+        assert [state for _, state, _ in runs[0]] == [
+            "pending", "firing", "resolved"
+        ]
+
+
+class TestAlertSurfacesWithoutEngine:
+    def test_alerts_is_404_without_an_engine(self, make_gateway):
+        gw = make_gateway()
+        status, body, _ = http_call(gw.url, "GET", "/alerts")
+        assert status == 404
+        assert "no SLO engine" in body["error"]["message"]
+
+    def test_metrics_and_healthz_omit_slo_families_without_engine(self, make_gateway):
+        gw = make_gateway()
+        status, text, _ = http_call(gw.url, "GET", "/metrics")
+        assert status == 200
+        series = parse_prometheus_text(text)
+        assert "repro_slo_evaluations_total" not in series
+        assert "ALERTS" not in series
+        status, health, _ = http_call(gw.url, "GET", "/healthz")
+        assert status == 200
+        assert "alerts_firing" not in health

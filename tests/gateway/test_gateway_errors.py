@@ -229,3 +229,81 @@ def test_503_when_inference_server_stopped(make_gateway):
     assert status == 503
     _assert_error(body, 503)
     assert headers["Retry-After"] == "1"
+
+
+# --------------------------------------------------------------------------- #
+# 401 — bearer auth on the admin plane and the event tail
+# --------------------------------------------------------------------------- #
+def _bearer(token):
+    return {"Authorization": f"Bearer {token}"}
+
+
+def test_401_guarded_routes_require_the_token(make_gateway):
+    gateway = make_gateway(admin_token="s3cret")
+    for method, path in [
+        ("POST", "/admin/rollback"),
+        ("GET", "/admin/routes"),
+        ("GET", "/tail?timeout=1"),
+    ]:
+        status, body, headers = http_call(
+            gateway.url, method, path, {} if method == "POST" else None
+        )
+        assert status == 401, path
+        _assert_error(body, 401)
+        assert headers["WWW-Authenticate"] == "Bearer"
+
+
+def test_401_wrong_token_is_rejected(make_gateway):
+    gateway = make_gateway(admin_token="s3cret")
+    status, body, _ = http_call(
+        gateway.url, "GET", "/admin/routes", headers=_bearer("wrong")
+    )
+    assert status == 401
+    _assert_error(body, 401)
+    # Bare token without the Bearer scheme is also rejected.
+    status, body, _ = http_call(
+        gateway.url, "GET", "/admin/routes", headers={"Authorization": "s3cret"}
+    )
+    assert status == 401
+
+
+def test_correct_token_unlocks_the_guarded_plane(make_gateway):
+    gateway = make_gateway(admin_token="s3cret")
+    status, body, _ = http_call(
+        gateway.url, "GET", "/admin/routes", headers=_bearer("s3cret")
+    )
+    assert status == 200
+    # Auth happens before taxonomy: a guarded route still 409s normally.
+    status, body, _ = http_call(
+        gateway.url, "POST", "/admin/rollback", {}, headers=_bearer("s3cret")
+    )
+    assert status == 409
+
+
+def test_unguarded_routes_stay_open_with_a_token_set(make_gateway):
+    gateway = make_gateway(admin_token="s3cret")
+    for path in ["/healthz", "/metrics", "/snapshot"]:
+        status, _, _ = http_call(gateway.url, "GET", path)
+        assert status == 200, path
+    status, _, _ = http_call(
+        gateway.url, "POST", "/predict", {"window": _window()}
+    )
+    assert status == 200
+
+
+def test_admin_token_env_var_fallback(make_gateway, monkeypatch):
+    monkeypatch.setenv("REPRO_ADMIN_TOKEN", "from-env")
+    gateway = make_gateway()
+    status, _, _ = http_call(gateway.url, "GET", "/admin/routes")
+    assert status == 401
+    status, _, _ = http_call(
+        gateway.url, "GET", "/admin/routes", headers=_bearer("from-env")
+    )
+    assert status == 200
+
+
+def test_no_token_means_everything_stays_open(make_gateway, monkeypatch):
+    monkeypatch.delenv("REPRO_ADMIN_TOKEN", raising=False)
+    gateway = make_gateway()
+    status, _, _ = http_call(gateway.url, "GET", "/admin/routes")
+    assert status == 200

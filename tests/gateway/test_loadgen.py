@@ -6,7 +6,7 @@ import socket
 import numpy as np
 import pytest
 
-from repro.gateway import LoadGenerator, LoadReport
+from repro.gateway import LoadGenerator, LoadReport, RouteReport
 from repro.gateway.loadgen import default_payload_fn, default_validate_fn
 
 from gatewaylib import HISTORY, NODES
@@ -170,3 +170,52 @@ def test_nan_payload_fails_before_hitting_the_wire():
     # conn=None proves serialization fails before the connection is touched.
     with pytest.raises(ValueError, match="[Nn]a[Nn]|[Oo]ut of range"):
         loadgen._one_request(None, rng, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Per-route breakdown
+# --------------------------------------------------------------------------- #
+def test_routes_partition_the_aggregate(make_gateway):
+    gateway = make_gateway()
+    predict = default_payload_fn(HISTORY, NODES)
+
+    def payload(rng, index):
+        if index % 3 == 0:
+            return "/nope", {}  # -> 404
+        return predict(rng, index)  # -> 200, valid
+
+    loadgen = LoadGenerator(gateway.url, num_workers=2, seed=3, payload_fn=payload)
+    report = loadgen.run(total_requests=30)
+
+    assert set(report.routes) == {"/predict", "/nope"}
+    predict_route = report.routes["/predict"]
+    nope = report.routes["/nope"]
+    assert predict_route.requests == 20 and predict_route.ok == 20
+    assert nope.requests == 10 and nope.http_errors == 10 and nope.ok == 0
+    # Per-route counters and latencies sum exactly to the aggregate.
+    assert sum(r.requests for r in report.routes.values()) == report.requests
+    assert sum(r.ok for r in report.routes.values()) == report.ok
+    assert sum(r.http_errors for r in report.routes.values()) == report.http_errors
+    assert sum(r.dropped for r in report.routes.values()) == report.dropped
+    assert sum(len(r.latencies) for r in report.routes.values()) == len(report.latencies)
+    assert np.isfinite(predict_route.p50_ms) and np.isfinite(predict_route.p99_ms)
+    assert predict_route.p50_ms <= predict_route.p99_ms
+
+
+def test_route_breakdown_appears_in_the_summary():
+    report = LoadReport(
+        requests=3, ok=2, http_errors=1, dropped=0, duration=1.0,
+        latencies=[0.01, 0.02, 0.03],
+        routes={
+            "/predict": RouteReport(requests=2, ok=2, latencies=[0.01, 0.02]),
+            "/nope": RouteReport(requests=1, http_errors=1, latencies=[0.03]),
+        },
+    )
+    summary = report.summary()
+    assert "/predict" in summary and "/nope" in summary
+    assert "2 req" in summary
+
+
+def test_empty_route_report_quantiles_are_nan():
+    route = RouteReport()
+    assert np.isnan(route.p50_ms) and np.isnan(route.p99_ms)

@@ -1,0 +1,226 @@
+"""Live event tail: SSE framing, the pump loop, and GET /tail over the wire."""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.gateway.sse import EventTail, format_sse_comment, format_sse_event
+from repro.obs.events import configure_logging, log_event
+
+from gatewaylib import http_call
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    import repro.obs as obs
+
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestFraming:
+    def test_event_frame_has_event_id_and_single_data_line(self):
+        frame = format_sse_event("slo.alert_firing", 42, {"kind": "slo.alert_firing", "tick": 7})
+        text = frame.decode("utf-8")
+        lines = text.split("\n")
+        assert lines[0] == "event: slo.alert_firing"
+        assert lines[1] == "id: 42"
+        assert lines[2].startswith("data: ")
+        assert text.endswith("\n\n")
+        payload = json.loads(lines[2][len("data: "):])
+        assert payload == {"kind": "slo.alert_firing", "tick": 7}
+
+    def test_event_frame_json_is_strict_nan_becomes_null(self):
+        frame = format_sse_event("x", 1, {"burn": float("nan")})
+        data_line = frame.decode("utf-8").split("\n")[2]
+        assert json.loads(data_line[len("data: "):]) == {"burn": None}
+        assert "NaN" not in data_line
+
+    def test_comment_frame_strips_newlines(self):
+        assert format_sse_comment("heartbeat") == b": heartbeat\n\n"
+        assert format_sse_comment("a\nb\rc") == b": a b c\n\n"
+
+
+class TestEventTailLoop:
+    """The pump against a list-accumulating writer — no sockets involved."""
+
+    def test_replays_ring_and_stops_at_max_events(self):
+        configure_logging(enabled=True, sink=False)
+        for i in range(5):
+            log_event("tick.done", index=i)
+        tail = EventTail(since=0, max_events=3, timeout_s=5.0)
+        frames = []
+        assert tail.run(frames.append) == "max_events"
+        text = b"".join(frames).decode("utf-8")
+        assert text.startswith(": tail start cursor=0\n\n")
+        assert text.count("event: tick.done") == 3
+        assert text.rstrip().endswith(": tail complete")
+        assert tail.delivered == 3
+
+    def test_kinds_prefix_filter_skips_but_advances_cursor(self):
+        configure_logging(enabled=True, sink=False)
+        log_event("serving.promote")
+        log_event("slo.alert_pending")
+        log_event("slo.alert_firing")
+        tail = EventTail(kinds="slo.", since=0, max_events=2, timeout_s=5.0)
+        frames = []
+        assert tail.run(frames.append) == "max_events"
+        text = b"".join(frames).decode("utf-8")
+        assert "serving.promote" not in text
+        assert "event: slo.alert_pending" in text
+        assert "event: slo.alert_firing" in text
+
+    def test_since_none_starts_at_now(self):
+        configure_logging(enabled=True, sink=False)
+        log_event("old.event")
+        tail = EventTail(max_events=1, timeout_s=0.3, heartbeat_s=10.0, poll_s=0.01)
+        frames = []
+        assert tail.run(frames.append) == "timeout"
+        assert b"old.event" not in b"".join(frames)
+
+    def test_idle_stream_heartbeats_then_times_out(self):
+        configure_logging(enabled=True, sink=False)
+        tail = EventTail(heartbeat_s=0.05, timeout_s=0.4, poll_s=0.01)
+        frames = []
+        assert tail.run(frames.append) == "timeout"
+        assert tail.heartbeats >= 2
+        assert b": heartbeat\n\n" in b"".join(frames)
+        assert b": tail timeout\n\n" == frames[-1]
+
+    def test_raising_writer_reads_as_disconnect(self):
+        configure_logging(enabled=True, sink=False)
+        log_event("tick.done")
+
+        def broken_pipe(frame):
+            raise OSError("Broken pipe")
+
+        tail = EventTail(since=0, timeout_s=5.0)
+        assert tail.run(broken_pipe) == "disconnected"
+
+    def test_should_stop_ends_the_stream(self):
+        tail = EventTail(timeout_s=5.0)
+        assert tail.run(lambda frame: None, should_stop=lambda: True) == "stopped"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EventTail(max_events=0)
+        with pytest.raises(ValueError):
+            EventTail(heartbeat_s=0.0)
+
+
+class TestTailOverHttp:
+    def _tail_raw(self, gw, query, timeout=10.0):
+        """One GET /tail over a raw socket; returns (headers_text, body_bytes)."""
+        host, port = gw.host, gw.port
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            request = (
+                f"GET /tail?{query} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\nConnection: close\r\n\r\n"
+            )
+            sock.sendall(request.encode("ascii"))
+            blob = b""
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break
+                blob += chunk
+        head, _, body = blob.partition(b"\r\n\r\n")
+        return head.decode("latin-1"), body
+
+    @staticmethod
+    def _dechunk(body):
+        out = b""
+        while body:
+            size_line, _, body = body.partition(b"\r\n")
+            size = int(size_line, 16)
+            if size == 0:
+                break
+            out, body = out + body[:size], body[size + 2:]
+        return out
+
+    def test_tail_streams_events_with_sse_headers(self, make_gateway):
+        gw = make_gateway()
+        import repro.obs as obs
+
+        obs.configure(logging=True, log_sink=False)
+        for i in range(3):
+            log_event("tick.done", index=i)
+        head, body = self._tail_raw(gw, "since=0&max_events=3&timeout=5")
+        assert "HTTP/1.1 200" in head.splitlines()[0]
+        assert "Content-Type: text/event-stream; charset=utf-8" in head
+        assert "Transfer-Encoding: chunked" in head
+        assert "Cache-Control: no-cache" in head
+        payload = self._dechunk(body).decode("utf-8")
+        assert payload.startswith(": tail start cursor=0\n\n")
+        assert payload.count("event: tick.done") == 3
+        # Every data: line is strict one-line JSON.
+        for line in payload.splitlines():
+            if line.startswith("data: "):
+                json.loads(line[len("data: "):])
+
+    def test_tail_heartbeats_over_the_wire(self, make_gateway):
+        gw = make_gateway()
+        head, body = self._tail_raw(gw, "timeout=0.4&heartbeat=0.05")
+        assert "HTTP/1.1 200" in head.splitlines()[0]
+        assert b": heartbeat" in self._dechunk(body)
+
+    def test_bad_tail_params_are_400_json(self, make_gateway):
+        gw = make_gateway()
+        status, body, _ = http_call(gw.url, "GET", "/tail?max_events=0")
+        assert status == 400
+        assert body["error"]["status"] == 400
+        status, body, _ = http_call(gw.url, "GET", "/tail?since=soon")
+        assert status == 400
+
+    def test_gateway_survives_mid_stream_disconnect(self, make_gateway):
+        gw = make_gateway()
+        host, port = gw.host, gw.port
+        sock = socket.create_connection((host, port), timeout=5.0)
+        sock.sendall(
+            f"GET /tail?timeout=30&heartbeat=0.05 HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n\r\n".encode("ascii")
+        )
+        sock.recv(1024)  # headers + first frames are flowing
+        sock.close()     # hang up mid-stream
+        time.sleep(0.2)
+        # New connections still served after the disconnect poisoned that one.
+        status, body, _ = http_call(gw.url, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+
+    def test_connection_reuse_after_completed_stream(self, make_gateway):
+        gw = make_gateway()
+        import repro.obs as obs
+
+        obs.configure(logging=True, log_sink=False)
+        log_event("tick.done")
+        host, port = gw.host, gw.port
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(
+                f"GET /tail?since=0&max_events=1&timeout=5 HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n\r\n".encode("ascii")
+            )
+            blob = b""
+            while not blob.endswith(b"0\r\n\r\n"):
+                chunk = sock.recv(65536)
+                assert chunk, f"connection closed before terminator: {blob!r}"
+                blob += chunk
+            # Same connection, second request: the stream ended cleanly with
+            # a zero-length chunk, so keep-alive must still work.
+            sock.sendall(
+                f"GET /healthz HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii")
+            )
+            second = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                second += chunk
+        assert b"HTTP/1.1 200" in second
+        assert b'"status": "ok"' in second or b'"status":"ok"' in second

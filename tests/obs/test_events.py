@@ -4,6 +4,8 @@ import repro.obs as obs
 from repro.obs.events import (
     configure_logging,
     events_emitted,
+    events_since,
+    last_event_seq,
     log_event,
     logging_enabled,
     recent_events,
@@ -75,3 +77,44 @@ class TestSinks:
         obs.configure(logging=True, log_sink=seen.append)
         log_event("via-facade")
         assert seen and seen[0]["kind"] == "via-facade"
+
+
+class TestCursorReads:
+    def test_events_since_delivers_exactly_once_in_order(self):
+        configure_logging(enabled=True, sink=False)
+        for i in range(5):
+            log_event("tick.done", index=i)
+        cursor = 0
+        seen = []
+        while True:
+            batch = events_since(cursor, limit=2)
+            if not batch:
+                break
+            seen.extend(batch)
+            cursor = batch[-1][0]
+        assert [record["index"] for _, record in seen] == [0, 1, 2, 3, 4]
+        seqs = [seq for seq, _ in seen]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 5
+        assert last_event_seq() == seqs[-1]
+
+    def test_cursor_at_tail_returns_nothing(self):
+        configure_logging(enabled=True, sink=False)
+        log_event("a")
+        assert events_since(last_event_seq()) == []
+
+    def test_ring_overflow_drops_oldest_for_lagging_cursors(self):
+        configure_logging(enabled=True, sink=False, ring_size=4)
+        for i in range(10):
+            log_event("tick.done", index=i)
+        batch = events_since(0, limit=100)
+        # Only the retained tail survives; the lagging reader silently skips.
+        assert [record["index"] for _, record in batch] == [6, 7, 8, 9]
+
+    def test_empty_ring_cursor_points_at_the_emitted_count(self):
+        # With nothing retained, "now" is the process-lifetime counter, so
+        # a tail started from last_event_seq() sees only *future* events.
+        configure_logging(enabled=True, sink=False)
+        assert last_event_seq() == events_emitted()
+        cursor = last_event_seq()
+        log_event("fresh")
+        assert [r["kind"] for _, r in events_since(cursor)] == ["fresh"]

@@ -108,3 +108,56 @@ class TestModuleSurface:
 
     def test_empty_summary_has_a_placeholder(self):
         assert PhaseProfiler().summary() == "(no phases recorded)"
+
+
+class TestWindowedDeltas:
+    def test_first_delta_covers_lifetime_second_only_the_interval(self):
+        prof = PhaseProfiler()
+        prof.record("model_forward", 2.0)
+        prof.record("model_forward", 2.0)
+        first = prof.delta(key="scraper")
+        assert first["model_forward"]["count"] == 2
+        assert first["model_forward"]["total_s"] == 4.0
+        assert first["model_forward"]["mean_ms"] == 2000.0
+        prof.record("model_forward", 6.0)
+        second = prof.delta(key="scraper")
+        assert second["model_forward"]["count"] == 1
+        assert second["model_forward"]["total_s"] == 6.0
+
+    def test_idle_phases_are_omitted_from_the_interval(self):
+        prof = PhaseProfiler()
+        prof.record("model_forward", 1.0)
+        prof.record("aci_update", 1.0)
+        prof.delta(key="k")
+        prof.record("aci_update", 1.0)
+        interval = prof.delta(key="k")
+        assert list(interval) == ["aci_update"]
+
+    def test_keys_hold_independent_baselines(self):
+        prof = PhaseProfiler()
+        prof.record("window_build", 1.0)
+        assert prof.delta(key="a")["window_build"]["count"] == 1
+        prof.record("window_build", 1.0)
+        # "b" never read before: sees lifetime; "a" sees just the new sample.
+        assert prof.delta(key="b")["window_build"]["count"] == 2
+        assert prof.delta(key="a")["window_build"]["count"] == 1
+
+    def test_least_recent_key_is_evicted_at_the_cap(self):
+        prof = PhaseProfiler()
+        prof.record("checkpoint", 1.0)
+        prof.delta(key="victim")
+        for i in range(PhaseProfiler.MAX_DELTA_KEYS):
+            prof.delta(key=f"k{i}")
+        # victim's baseline was forgotten -> next read starts over (lifetime).
+        assert prof.delta(key="victim")["checkpoint"]["count"] == 1
+
+    def test_reset_clears_baselines(self):
+        prof = PhaseProfiler()
+        prof.record("drift_detect", 1.0)
+        prof.delta(key="k")
+        prof.reset()
+        prof.record("drift_detect", 1.0)
+        assert prof.delta(key="k")["drift_detect"]["count"] == 1
+
+    def test_slo_eval_is_a_canonical_phase(self):
+        assert "slo_eval" in PHASES
